@@ -1,0 +1,186 @@
+// Command graphstats computes the structural characteristics the
+// paper's Section 2 lists (degree distribution, clustering, connected
+// components, diameter, assortativity) for an edge CSV produced by
+// datasynth — the validation side of the generate-then-verify loop.
+//
+//	graphstats -edges dataset/edges_knows.csv
+//	graphstats -edges dataset/edges_knows.csv -labels dataset/nodes_Person.csv -labelcol country
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"datasynth/internal/graph"
+	"datasynth/internal/stats"
+	"datasynth/internal/table"
+)
+
+func main() {
+	edgesPath := flag.String("edges", "", "edge CSV (id,tail,head,…)")
+	labelsPath := flag.String("labels", "", "optional node CSV for label-based metrics")
+	labelCol := flag.String("labelcol", "", "column of -labels holding the categorical label")
+	sample := flag.Int64("sample", 5000, "node sample for clustering estimation (0 = exact)")
+	flag.Parse()
+	if *edgesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	et, maxNode, err := readEdges(*edgesPath)
+	if err != nil {
+		fatal(err)
+	}
+	n := maxNode + 1
+	g, err := graph.FromEdgeTable(et, n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nodes:                 %d\n", g.N())
+	fmt.Printf("edges:                 %d\n", g.M())
+	fmt.Printf("avg degree:            %.2f\n", g.AvgDegree())
+	fmt.Printf("max degree:            %d\n", g.MaxDegree())
+	fmt.Printf("degree Gini:           %.3f\n", g.GiniDegree())
+	fmt.Printf("power-law alpha (MLE): %.2f\n", g.PowerLawAlphaMLE(2))
+	fmt.Printf("avg clustering:        %.4f\n", g.AvgClustering(*sample, 1))
+	_, comps := g.ConnectedComponents()
+	fmt.Printf("connected components:  %d\n", comps)
+	fmt.Printf("largest component:     %.1f%%\n", 100*g.LargestComponentFraction())
+	fmt.Printf("approx diameter:       %d\n", g.ApproxDiameter(4, 1))
+	fmt.Printf("degree assortativity:  %.3f\n", g.DegreeAssortativity())
+
+	if *labelsPath != "" && *labelCol != "" {
+		labels, k, err := readLabels(*labelsPath, *labelCol, n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("label values:          %d\n", k)
+		fmt.Printf("modularity:            %.3f\n", g.Modularity(labels))
+		fmt.Printf("mixing fraction:       %.3f\n", g.MixingFraction(labels))
+		joint, err := stats.EmpiricalJoint(et, labels, k)
+		if err != nil {
+			fatal(err)
+		}
+		var diag float64
+		for a := 0; a < k; a++ {
+			diag += joint.At(a, a)
+		}
+		fmt.Printf("same-label edge mass:  %.3f\n", diag)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphstats:", err)
+	os.Exit(1)
+}
+
+// readEdges loads an edge CSV with header id,tail,head[,…].
+func readEdges(path string) (*table.EdgeTable, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.ReuseRecord = true
+	if _, err := r.Read(); err != nil { // header
+		return nil, 0, fmt.Errorf("reading header: %w", err)
+	}
+	et := table.NewEdgeTable("edges", 1024)
+	var maxNode int64 = -1
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(rec) < 3 {
+			return nil, 0, fmt.Errorf("edge row needs id,tail,head columns")
+		}
+		t, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad tail %q: %w", rec[1], err)
+		}
+		h, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad head %q: %w", rec[2], err)
+		}
+		et.Add(t, h)
+		if t > maxNode {
+			maxNode = t
+		}
+		if h > maxNode {
+			maxNode = h
+		}
+	}
+	if maxNode < 0 {
+		return nil, 0, fmt.Errorf("no edges in %s", path)
+	}
+	return et, maxNode, nil
+}
+
+// readLabels loads a node CSV and reduces one column to dense label
+// indices over n nodes (missing ids default to a fresh "" label).
+func readLabels(path, col string, n int64) ([]int64, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading header: %w", err)
+	}
+	colIdx := -1
+	for i, h := range header {
+		if h == col {
+			colIdx = i
+		}
+	}
+	if colIdx == -1 {
+		return nil, 0, fmt.Errorf("column %q not in %v", col, header)
+	}
+	labels := make([]int64, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	index := map[string]int64{}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil || id < 0 || id >= n {
+			continue
+		}
+		v := rec[colIdx]
+		k, ok := index[v]
+		if !ok {
+			k = int64(len(index))
+			index[v] = k
+		}
+		labels[id] = k
+	}
+	// Nodes absent from the CSV get their own catch-all label.
+	missing := int64(-1)
+	for i, l := range labels {
+		if l == -1 {
+			if missing == -1 {
+				missing = int64(len(index))
+				index["<missing>"] = missing
+			}
+			labels[i] = missing
+		}
+	}
+	return labels, len(index), nil
+}

@@ -1,0 +1,16 @@
+// Package datasynth is a from-scratch Go reproduction of "Towards a
+// property graph generator for benchmarking" (Prat-Pérez et al., 2017,
+// arXiv:1704.00630): a framework for generating property graphs with
+// configurable schemas, property value distributions, pluggable graph
+// structure generators, and — the paper's core contribution —
+// property-structure correlations preserved by the SBM-Part streaming
+// matching algorithm.
+//
+// The library lives under internal/ (see README.md for the map);
+// cmd/datasynth generates datasets from DSL schemas and
+// cmd/sbmpart-eval regenerates the paper's evaluation. The benchmarks
+// in bench_test.go cover every table and figure of the paper; run them
+// with
+//
+//	go test -bench=. -benchmem .
+package datasynth

@@ -1,0 +1,46 @@
+// Communitybench: a miniature of the paper's evaluation — run the
+// Figure 3/4 protocol on a handful of panels and render the
+// expected-vs-observed CDFs as terminal plots. Useful to eyeball
+// SBM-Part quality without the full harness.
+//
+//	go run ./examples/communitybench
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"datasynth/internal/exp"
+)
+
+func main() {
+	panels := []exp.Panel{
+		{Generator: exp.LFR, Size: 10000, K: 16, Seed: 1},
+		{Generator: exp.RMAT, Size: 13, K: 16, Seed: 1},
+		{Generator: exp.LFR, Size: 10000, K: 4, Seed: 2},
+		{Generator: exp.LFR, Size: 10000, K: 64, Seed: 3},
+	}
+	fmt.Println(exp.SummaryHeader)
+	results := make([]*exp.Result, 0, len(panels))
+	for _, p := range panels {
+		r, err := exp.RunPanel(p)
+		if err != nil {
+			log.Fatalf("panel %s: %v", p.Label(), err)
+		}
+		results = append(results, r)
+		if err := exp.WriteSummaryRow(os.Stdout, r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println()
+	for _, r := range results {
+		if err := exp.ASCIICDF(os.Stdout, r, 64, 10); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading the plots: the closer 'o' (observed) hugs 'E' (expected),")
+	fmt.Println("the better SBM-Part reproduced the requested joint distribution.")
+	fmt.Println("LFR panels should fit visibly better than RMAT — the paper's Figure 3 finding.")
+}

@@ -1,0 +1,83 @@
+// Forum: message cascades — the paper's future-work tree structures.
+// Reply trees are generated with the cascade package, and the
+// vertex-centric propagation engine pushes creation dates down the
+// cascades so every reply is strictly later than its parent, the
+// "information propagates through the cascade" pattern the paper
+// sketches for social-network message threads.
+//
+//	go run ./examples/forum
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datasynth/internal/cascade"
+	"datasynth/internal/table"
+)
+
+func main() {
+	gen := cascade.NewGenerator(2026)
+	gen.TreeSizeMin, gen.TreeSizeMax = 1, 200
+	gen.Gamma = 1.8
+	gen.PreferRecent = 0.35
+
+	const n = 50000
+	forest, err := gen.Run(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := forest.TreeSizes()
+	var max int64
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	fmt.Printf("generated %d messages in %d cascades (largest %d, deepest %d levels)\n",
+		forest.N(), len(sizes), max, forest.MaxDepth())
+
+	// Vertex-centric propagation: dates strictly increase along every
+	// root-to-leaf path.
+	from := table.MustParseDate("2023-01-01")
+	to := table.MustParseDate("2024-12-31")
+	dates, err := forest.ReplyDates(from, to, 14, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	violations := 0
+	for v := int64(0); v < forest.N(); v++ {
+		if p := forest.Parent[v]; p != -1 && dates[v] <= dates[p] {
+			violations++
+		}
+	}
+	fmt.Printf("date monotonicity violations: %d / %d replies\n", violations, forest.N()-int64(len(sizes)))
+
+	// Thread topics inherit from the root with a 5% drift per level —
+	// string propagation through the cascade.
+	topics := []string{"go", "databases", "graphs", "benchmarks"}
+	topicOf := forest.PropagateString(
+		func(root int64) string { return topics[root%int64(len(topics))] },
+		func(parent string, child int64) string {
+			if child%20 == 0 { // occasional topic drift
+				return topics[child%int64(len(topics))]
+			}
+			return parent
+		},
+	)
+	drifted := 0
+	for v := int64(0); v < forest.N(); v++ {
+		if p := forest.Parent[v]; p != -1 && topicOf[v] != topicOf[p] {
+			drifted++
+		}
+	}
+	fmt.Printf("replies that drifted off-topic: %d (%.1f%%)\n",
+		drifted, 100*float64(drifted)/float64(forest.N()))
+
+	// Export the replyOf edge type as CSV alongside the dates.
+	et := forest.EdgeTable("replyOf")
+	fmt.Printf("replyOf edges: %d (one per non-root message)\n", et.Len())
+	sample := et.Tail[0]
+	fmt.Printf("example: message %d replies to %d (%s -> %s)\n",
+		sample, et.Head[0], table.FormatDate(dates[et.Head[0]]), table.FormatDate(dates[sample]))
+}

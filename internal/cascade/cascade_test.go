@@ -1,0 +1,211 @@
+package cascade
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForestInvariants(t *testing.T) {
+	g := NewGenerator(7)
+	f, err := g.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 5000 {
+		t.Fatalf("N = %d", f.N())
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Roots) == 0 {
+		t.Fatal("no roots")
+	}
+	var sum int64
+	for _, s := range f.TreeSizes() {
+		if s < 1 {
+			t.Fatalf("tree size %d", s)
+		}
+		sum += s
+	}
+	if sum != 5000 {
+		t.Fatalf("tree sizes sum to %d", sum)
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	a, err := NewGenerator(3).Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(3).Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 1000; v++ {
+		if a.Parent[v] != b.Parent[v] {
+			t.Fatalf("parent of %d differs", v)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(1).Run(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	g := NewGenerator(1)
+	g.TreeSizeMin = 0
+	if _, err := g.Run(10); err == nil {
+		t.Error("TreeSizeMin=0 should fail")
+	}
+	g2 := NewGenerator(1)
+	g2.PreferRecent = 2
+	if _, err := g2.Run(10); err == nil {
+		t.Error("PreferRecent>1 should fail")
+	}
+}
+
+func TestEdgeTableShape(t *testing.T) {
+	f, err := NewGenerator(9).Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := f.EdgeTable("replyOf")
+	// One edge per non-root.
+	want := f.N() - int64(len(f.Roots))
+	if et.Len() != want {
+		t.Fatalf("edges = %d, want %d", et.Len(), want)
+	}
+	// Child (tail) must be greater than parent (head): acyclic.
+	for i := int64(0); i < et.Len(); i++ {
+		if et.Tail[i] <= et.Head[i] {
+			t.Fatalf("edge %d not child->parent ordered", i)
+		}
+	}
+}
+
+func TestPreferRecentShapesDepth(t *testing.T) {
+	// PreferRecent = 1 yields pure paths (depth = size-1 per tree);
+	// PreferRecent = 0 yields bushier, shallower random recursive trees.
+	deep := NewGenerator(5)
+	deep.PreferRecent = 1
+	deep.TreeSizeMin, deep.TreeSizeMax = 50, 50
+	fd, err := deep.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow := NewGenerator(5)
+	shallow.PreferRecent = 0
+	shallow.TreeSizeMin, shallow.TreeSizeMax = 50, 50
+	fs, err := shallow.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.MaxDepth() != 49 {
+		t.Errorf("pure-path max depth = %d, want 49", fd.MaxDepth())
+	}
+	if fs.MaxDepth() >= fd.MaxDepth() {
+		t.Errorf("random trees (depth %d) should be shallower than paths (depth %d)", fs.MaxDepth(), fd.MaxDepth())
+	}
+}
+
+func TestPropagateInt64DatesIncrease(t *testing.T) {
+	f, err := NewGenerator(11).Run(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dates, err := f.ReplyDates(15000, 16000, 7, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < f.N(); v++ {
+		p := f.Parent[v]
+		if p == -1 {
+			if dates[v] < 15000 || dates[v] > 16000 {
+				t.Fatalf("root %d date %d outside range", v, dates[v])
+			}
+			continue
+		}
+		if dates[v] <= dates[p] {
+			t.Fatalf("reply %d date %d not after parent date %d", v, dates[v], dates[p])
+		}
+		if dates[v] > dates[p]+7 {
+			t.Fatalf("reply %d lag %d exceeds 7", v, dates[v]-dates[p])
+		}
+	}
+}
+
+func TestReplyDatesValidation(t *testing.T) {
+	f, _ := NewGenerator(1).Run(10)
+	if _, err := f.ReplyDates(10, 5, 7, 1); err == nil {
+		t.Error("empty date range should fail")
+	}
+	if _, err := f.ReplyDates(0, 10, 0, 1); err == nil {
+		t.Error("maxLagDays=0 should fail")
+	}
+}
+
+func TestPropagateString(t *testing.T) {
+	f, err := NewGenerator(13).Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topics := f.PropagateString(
+		func(root int64) string { return "root-topic" },
+		func(parent string, child int64) string { return parent },
+	)
+	for v := int64(0); v < f.N(); v++ {
+		if topics[v] != "root-topic" {
+			t.Fatalf("topic not inherited at %d", v)
+		}
+	}
+}
+
+func TestForestValidateCatchesCorruption(t *testing.T) {
+	f, _ := NewGenerator(1).Run(100)
+	f.Parent[50] = 80 // parent after child
+	if err := f.Validate(); err == nil {
+		t.Error("forward parent should fail validation")
+	}
+	f2, _ := NewGenerator(1).Run(100)
+	if f2.Parent[1] != -1 {
+		f2.Depth[1] = 99
+		if err := f2.Validate(); err == nil {
+			t.Error("bad depth should fail validation")
+		}
+	}
+}
+
+func TestForestProperty(t *testing.T) {
+	// Property: for arbitrary seeds/sizes the forest validates and
+	// depths are bounded by n.
+	fprop := func(seed uint64, nRaw uint16) bool {
+		n := int64(nRaw%2000) + 1
+		f, err := NewGenerator(seed).Run(n)
+		if err != nil {
+			return false
+		}
+		if f.Validate() != nil {
+			return false
+		}
+		return f.MaxDepth() < n
+	}
+	if err := quick.Check(fprop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedLastTree(t *testing.T) {
+	// n smaller than one full tree still works.
+	g := NewGenerator(2)
+	g.TreeSizeMin, g.TreeSizeMax = 100, 100
+	f, err := g.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 30 || len(f.Roots) != 1 {
+		t.Fatalf("N=%d roots=%d", f.N(), len(f.Roots))
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+// Package core implements the DataSynth engine: the pipeline of the
+// paper's Figure 2. Given a schema (from the DSL or built
+// programmatically) it runs the dependency analysis, then executes the
+// resulting plan — generate node properties, generate structure per
+// edge type, match properties with structure, generate edge
+// properties — and returns a table.Dataset ready for export.
+//
+// Property generation is embarrassingly parallel: every value is a pure
+// function of (id, r(id), deps), so the engine fans row ranges out to a
+// worker pool, the in-memory stand-in for the paper's shared-nothing
+// cluster (the algorithms are identical; only the transport differs).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"datasynth/internal/depgraph"
+	"datasynth/internal/pgen"
+	"datasynth/internal/schema"
+	"datasynth/internal/sgen"
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+// Engine generates property graphs from a schema.
+type Engine struct {
+	Schema *schema.Schema
+	PGens  *pgen.Registry
+	SGens  *sgen.Registry
+	// Workers bounds property-generation parallelism; 0 means NumCPU.
+	Workers int
+	// Logf, if non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// New returns an engine with the built-in generator registries.
+func New(s *schema.Schema) *Engine {
+	return &Engine{Schema: s, PGens: pgen.NewRegistry(), SGens: sgen.NewRegistry()}
+}
+
+// run-state, private to one Generate call.
+type runState struct {
+	counts    map[string]int64
+	nodeProps map[string]map[string]*table.PropertyTable
+	edgeProps map[string]map[string]*table.PropertyTable
+	edges     map[string]*table.EdgeTable
+	matched   map[string]bool
+	// fusedProps holds property columns produced by fused operators
+	// (value indices plus the value universe); genNodeProperty
+	// materialises these instead of running a generator.
+	fusedProps map[string]map[string]*fusedColumn
+}
+
+// fusedColumn is a property column minted by a fused operator.
+type fusedColumn struct {
+	labels []int64
+	values []string
+}
+
+// Generate executes the schema and returns the dataset.
+func (e *Engine) Generate() (*table.Dataset, error) {
+	plan, err := depgraph.Analyze(e.Schema)
+	if err != nil {
+		return nil, err
+	}
+	st := &runState{
+		counts:     map[string]int64{},
+		nodeProps:  map[string]map[string]*table.PropertyTable{},
+		edgeProps:  map[string]map[string]*table.PropertyTable{},
+		edges:      map[string]*table.EdgeTable{},
+		matched:    map[string]bool{},
+		fusedProps: map[string]map[string]*fusedColumn{},
+	}
+	for _, t := range plan.Tasks {
+		e.logf("task %s", t.ID())
+		switch t.Kind {
+		case depgraph.TaskProperty:
+			err = e.genNodeProperty(st, plan, t.Type, t.Prop)
+		case depgraph.TaskStructure:
+			err = e.genStructure(st, plan, t.Type)
+		case depgraph.TaskMatch:
+			err = e.matchEdge(st, t.Type)
+		case depgraph.TaskEdgeProperty:
+			err = e.genEdgeProperty(st, t.Type, t.Prop)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: task %s: %w", t.ID(), err)
+		}
+	}
+	// Node types with no properties still need their counts resolved
+	// for the dataset (e.g. a bare join type).
+	for i := range e.Schema.Nodes {
+		if _, err := e.nodeCount(st, plan, e.Schema.Nodes[i].Name); err != nil {
+			return nil, err
+		}
+	}
+	return e.assemble(st), nil
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+// nodeCount resolves (and caches) a node type's instance count using
+// the plan's count sources.
+func (e *Engine) nodeCount(st *runState, plan *depgraph.Plan, typeName string) (int64, error) {
+	if c, ok := st.counts[typeName]; ok {
+		return c, nil
+	}
+	src, ok := plan.Counts[typeName]
+	if !ok {
+		return 0, fmt.Errorf("core: no count source for node type %q", typeName)
+	}
+	var c int64
+	switch src.Kind {
+	case depgraph.SourceExplicit:
+		c = e.Schema.NodeType(typeName).Count
+	case depgraph.SourceEdgeHead:
+		et, ok := st.edges[src.Edge]
+		if !ok {
+			return 0, fmt.Errorf("core: count of %q needs structure of %q first", typeName, src.Edge)
+		}
+		c = et.MaxNode()
+		// A 1→* edge's heads are dense [0, m), so MaxNode == edge count;
+		// an empty table still implies zero heads.
+	case depgraph.SourceEdgeCount:
+		edge := e.Schema.EdgeType(src.Edge)
+		n, err := e.tailCountFromEdgeCount(edge)
+		if err != nil {
+			return 0, err
+		}
+		c = n
+	}
+	if c <= 0 {
+		return 0, fmt.Errorf("core: resolved count of %q is %d", typeName, c)
+	}
+	st.counts[typeName] = c
+	return c, nil
+}
+
+// tailCountFromEdgeCount applies the paper's getNumNodes path: size the
+// tail domain so the generator produces ~edge.Count edges.
+func (e *Engine) tailCountFromEdgeCount(edge *schema.EdgeType) (int64, error) {
+	seed := e.structureSeed(edge.Name)
+	if edge.Tail == edge.Head && e.SGens.HasMono(edge.Structure.Name) {
+		g, err := e.SGens.BuildMono(edge.Structure.Name, edge.Structure.Params, seed)
+		if err != nil {
+			return 0, err
+		}
+		return g.NumNodesForEdges(edge.Count)
+	}
+	g, err := e.SGens.BuildBipartite(edge.Structure.Name, edge.Structure.Params, seed)
+	if err != nil {
+		return 0, err
+	}
+	return g.NumTailsForEdges(edge.Count)
+}
+
+func (e *Engine) structureSeed(edgeName string) uint64 {
+	return xrand.NewStream(e.Schema.Seed).DeriveStream("structure." + edgeName).Seed()
+}
+
+func (e *Engine) propertySeed(typeName, propName string) xrand.Stream {
+	return xrand.NewStream(e.Schema.Seed).DeriveStream("property." + typeName + "." + propName)
+}
+
+// genNodeProperty materialises one node property table in parallel.
+// Columns minted by a fused operator are materialised directly from the
+// fused labels instead of running the property generator.
+func (e *Engine) genNodeProperty(st *runState, plan *depgraph.Plan, typeName, propName string) error {
+	nt := e.Schema.NodeType(typeName)
+	prop := nt.Property(propName)
+	n, err := e.nodeCount(st, plan, typeName)
+	if err != nil {
+		return err
+	}
+	if fc := st.fusedProps[typeName][propName]; fc != nil {
+		if int64(len(fc.labels)) != n {
+			return fmt.Errorf("core: fused column %s.%s has %d rows, expected %d", typeName, propName, len(fc.labels), n)
+		}
+		if prop.Kind != table.KindString {
+			return fmt.Errorf("core: fused column %s.%s must be a string property", typeName, propName)
+		}
+		pt := table.NewPropertyTable(typeName+"."+propName, table.KindString, n)
+		for id := int64(0); id < n; id++ {
+			pt.SetString(id, fc.values[fc.labels[id]])
+		}
+		if st.nodeProps[typeName] == nil {
+			st.nodeProps[typeName] = map[string]*table.PropertyTable{}
+		}
+		st.nodeProps[typeName][propName] = pt
+		return nil
+	}
+	gen, err := e.PGens.Build(prop.Generator.Name, prop.Generator.Params)
+	if err != nil {
+		return err
+	}
+	if err := checkKind(gen, prop); err != nil {
+		return err
+	}
+	deps := make([]*table.PropertyTable, len(prop.DependsOn))
+	for i, d := range prop.DependsOn {
+		pt, ok := st.nodeProps[typeName][d]
+		if !ok {
+			return fmt.Errorf("core: dependency %s.%s not materialised", typeName, d)
+		}
+		deps[i] = pt
+	}
+	pt := table.NewPropertyTable(typeName+"."+propName, prop.Kind, n)
+	stream := e.propertySeed(typeName, propName)
+	if err := e.parallelFill(pt, n, gen, stream, func(id int64, buf []pgen.Value) []pgen.Value {
+		for i, dp := range deps {
+			buf[i] = valueAt(dp, id)
+		}
+		return buf[:len(deps)]
+	}, len(deps)); err != nil {
+		return err
+	}
+	if st.nodeProps[typeName] == nil {
+		st.nodeProps[typeName] = map[string]*table.PropertyTable{}
+	}
+	st.nodeProps[typeName][propName] = pt
+	return nil
+}
+
+// parallelFill fans the id range out to workers; each worker computes
+// rows independently thanks to in-place generation.
+func (e *Engine) parallelFill(pt *table.PropertyTable, n int64, gen pgen.Generator, stream xrand.Stream, depsFor func(id int64, buf []pgen.Value) []pgen.Value, arity int) error {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	const chunk = 8192
+	type job struct{ lo, hi int64 }
+	jobs := make(chan job, workers)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]pgen.Value, arity)
+			for j := range jobs {
+				for id := j.lo; id < j.hi; id++ {
+					v, err := gen.Run(id, stream, depsFor(id, buf))
+					if err != nil {
+						select {
+						case errs <- fmt.Errorf("core: row %d: %w", id, err):
+						default:
+						}
+						return
+					}
+					storeValue(pt, id, v)
+				}
+			}
+		}()
+	}
+	for lo := int64(0); lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		jobs <- job{lo, hi}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// valueAt boxes a PT row as a pgen.Value.
+func valueAt(pt *table.PropertyTable, id int64) pgen.Value {
+	switch pt.Kind {
+	case table.KindString:
+		return pgen.StringValue(pt.String(id))
+	case table.KindFloat:
+		return pgen.FloatValue(pt.Float(id))
+	case table.KindDate:
+		return pgen.DateValue(pt.Int(id))
+	default:
+		return pgen.IntValue(pt.Int(id))
+	}
+}
+
+// storeValue writes a pgen.Value into a PT row.
+func storeValue(pt *table.PropertyTable, id int64, v pgen.Value) {
+	switch pt.Kind {
+	case table.KindString:
+		pt.SetString(id, v.Str)
+	case table.KindFloat:
+		pt.SetFloat(id, v.Float)
+	default:
+		pt.SetInt(id, v.Int)
+	}
+}
+
+// polymorphicKinds are generators whose output kind follows the
+// declared property kind rather than a fixed kind.
+var polymorphicKinds = map[string]bool{
+	"endpoint-copy": true,
+	"constant":      true,
+	"sequence":      true,
+}
+
+func checkKind(gen pgen.Generator, prop *schema.Property) error {
+	if polymorphicKinds[gen.Name()] {
+		return nil
+	}
+	if gen.Kind() != prop.Kind {
+		return fmt.Errorf("core: generator %s produces %v but property %s is declared %v",
+			gen.Name(), gen.Kind(), prop.Name, prop.Kind)
+	}
+	return nil
+}

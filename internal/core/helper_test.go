@@ -1,0 +1,8 @@
+package core
+
+import "datasynth/internal/pgen"
+
+// namesForTest re-exports the conditional name pools for engine tests.
+func namesForTest(country, sex string) []string {
+	return pgen.NamesFor(country, sex)
+}

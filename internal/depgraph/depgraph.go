@@ -1,0 +1,375 @@
+// Package depgraph implements DataSynth's dependency analysis (paper
+// Section 4.2): "The data generation process begins analyzing the
+// schema described by the user to reveal dependencies among the data to
+// be generated. … from the dependencies analysis we get a dependency
+// graph, which we traverse to preserve the dependencies between the
+// tasks."
+//
+// Tasks are of four kinds — generate property, generate structure,
+// match graph, and generate edge property — and the analysis also
+// resolves how every node type's instance count is obtained, covering
+// the paper's flagship example: the number of Messages is the size of
+// the `creates` edge table, which in turn is sized from the number of
+// Persons (or, inversely, from a requested edge count through the SG's
+// getNumNodes).
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"datasynth/internal/schema"
+)
+
+// TaskKind enumerates the task types of the paper's Figure 2 pipeline.
+type TaskKind int
+
+// Task kinds, in pipeline order.
+const (
+	// TaskProperty generates one node property table.
+	TaskProperty TaskKind = iota
+	// TaskStructure generates one edge type's structure.
+	TaskStructure
+	// TaskMatch matches node property rows to structure nodes.
+	TaskMatch
+	// TaskEdgeProperty generates one edge property table.
+	TaskEdgeProperty
+)
+
+// String returns a diagnostic name.
+func (k TaskKind) String() string {
+	switch k {
+	case TaskProperty:
+		return "property"
+	case TaskStructure:
+		return "structure"
+	case TaskMatch:
+		return "match"
+	case TaskEdgeProperty:
+		return "edge-property"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", int(k))
+	}
+}
+
+// Task is one unit of generation work.
+type Task struct {
+	Kind TaskKind
+	Type string // node type (TaskProperty) or edge type name
+	Prop string // property name for property tasks
+}
+
+// ID returns the unique task identifier.
+func (t Task) ID() string {
+	switch t.Kind {
+	case TaskProperty:
+		return "P:" + t.Type + "." + t.Prop
+	case TaskStructure:
+		return "S:" + t.Type
+	case TaskMatch:
+		return "M:" + t.Type
+	default:
+		return "EP:" + t.Type + "." + t.Prop
+	}
+}
+
+// SourceKind describes how a node type's count is obtained.
+type SourceKind int
+
+// Count sources.
+const (
+	// SourceExplicit: the schema declares the count.
+	SourceExplicit SourceKind = iota
+	// SourceEdgeHead: the type is the head of a 1→* edge; its count is
+	// that edge table's size (the Message example).
+	SourceEdgeHead
+	// SourceEdgeCount: the type is the tail of an edge with an explicit
+	// edge count; its count comes from the SG's getNumNodes.
+	SourceEdgeCount
+)
+
+// CountSource records one node type's sizing rule.
+type CountSource struct {
+	Kind SourceKind
+	Edge string // edge type for the edge-derived kinds
+}
+
+// Plan is the ordered task list plus sizing rules.
+type Plan struct {
+	Tasks []Task
+	// Counts maps node type name -> how to obtain its instance count.
+	Counts map[string]CountSource
+}
+
+// Analyze builds the dependency graph for a validated schema, resolves
+// count sources, and returns tasks in a dependency-respecting order.
+// It fails on dependency cycles and on node types whose count cannot be
+// inferred.
+func Analyze(s *schema.Schema) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	counts, err := resolveCounts(s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the task set.
+	var tasks []Task
+	index := map[string]int{}
+	add := func(t Task) {
+		if _, dup := index[t.ID()]; dup {
+			return
+		}
+		index[t.ID()] = len(tasks)
+		tasks = append(tasks, t)
+	}
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		for j := range n.Properties {
+			add(Task{Kind: TaskProperty, Type: n.Name, Prop: n.Properties[j].Name})
+		}
+	}
+	for i := range s.Edges {
+		e := &s.Edges[i]
+		add(Task{Kind: TaskStructure, Type: e.Name})
+		add(Task{Kind: TaskMatch, Type: e.Name})
+		for j := range e.Properties {
+			add(Task{Kind: TaskEdgeProperty, Type: e.Name, Prop: e.Properties[j].Name})
+		}
+	}
+
+	// Edges of the dependency graph: dep -> dependent.
+	adj := make([][]int, len(tasks))
+	indeg := make([]int, len(tasks))
+	addDep := func(from, to Task) error {
+		fi, ok := index[from.ID()]
+		if !ok {
+			return fmt.Errorf("depgraph: internal: missing task %s", from.ID())
+		}
+		ti, ok := index[to.ID()]
+		if !ok {
+			return fmt.Errorf("depgraph: internal: missing task %s", to.ID())
+		}
+		adj[fi] = append(adj[fi], ti)
+		indeg[ti]++
+		return nil
+	}
+
+	// countDep returns the task (if any) that must complete before the
+	// given node type's count is known.
+	countDep := func(nodeType string) *Task {
+		src := counts[nodeType]
+		if src.Kind == SourceEdgeHead {
+			return &Task{Kind: TaskStructure, Type: src.Edge}
+		}
+		return nil
+	}
+
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		for j := range n.Properties {
+			p := &n.Properties[j]
+			this := Task{Kind: TaskProperty, Type: n.Name, Prop: p.Name}
+			// Conditioned properties come after their parents.
+			for _, dep := range p.DependsOn {
+				if err := addDep(Task{Kind: TaskProperty, Type: n.Name, Prop: dep}, this); err != nil {
+					return nil, err
+				}
+			}
+			// The property table needs the instance count.
+			if cd := countDep(n.Name); cd != nil {
+				if err := addDep(*cd, this); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for i := range s.Edges {
+		e := &s.Edges[i]
+		st := Task{Kind: TaskStructure, Type: e.Name}
+		mt := Task{Kind: TaskMatch, Type: e.Name}
+		// A fused edge generates structure and the correlated head
+		// property together, so the tail property must exist first.
+		if e.Correlation != nil && e.Correlation.Fused {
+			if err := addDep(Task{Kind: TaskProperty, Type: e.Tail, Prop: e.Correlation.TailProperty}, st); err != nil {
+				return nil, err
+			}
+		}
+		// Structure needs the tail count unless the edge count is
+		// explicit (then getNumNodes sizes the tail instead).
+		if e.Count == 0 {
+			if cd := countDep(e.Tail); cd != nil {
+				if err := addDep(*cd, st); err != nil {
+					return nil, err
+				}
+			}
+			// A *→* bipartite generator also needs the head domain.
+			if e.Cardinality == schema.ManyToMany && e.Tail != e.Head {
+				if cd := countDep(e.Head); cd != nil {
+					if err := addDep(*cd, st); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		// Match follows structure and the correlated property tables.
+		if err := addDep(st, mt); err != nil {
+			return nil, err
+		}
+		if c := e.Correlation; c != nil {
+			if c.Property != "" {
+				if err := addDep(Task{Kind: TaskProperty, Type: e.Tail, Prop: c.Property}, mt); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := addDep(Task{Kind: TaskProperty, Type: e.Tail, Prop: c.TailProperty}, mt); err != nil {
+					return nil, err
+				}
+				if err := addDep(Task{Kind: TaskProperty, Type: e.Head, Prop: c.HeadProperty}, mt); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Edge properties follow the match (endpoint ids are final) and
+		// their dependencies.
+		for j := range e.Properties {
+			p := &e.Properties[j]
+			this := Task{Kind: TaskEdgeProperty, Type: e.Name, Prop: p.Name}
+			if err := addDep(mt, this); err != nil {
+				return nil, err
+			}
+			for _, dep := range p.DependsOn {
+				var dt Task
+				switch {
+				case len(dep) > 5 && dep[:5] == "tail.":
+					dt = Task{Kind: TaskProperty, Type: e.Tail, Prop: dep[5:]}
+				case len(dep) > 5 && dep[:5] == "head.":
+					dt = Task{Kind: TaskProperty, Type: e.Head, Prop: dep[5:]}
+				default:
+					dt = Task{Kind: TaskEdgeProperty, Type: e.Name, Prop: dep}
+				}
+				if err := addDep(dt, this); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	order, err := kahn(tasks, adj, indeg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Tasks: order, Counts: counts}, nil
+}
+
+// resolveCounts determines every node type's count source, preferring
+// explicit counts, then 1→* head inference, then tail inference through
+// an explicit edge count.
+func resolveCounts(s *schema.Schema) (map[string]CountSource, error) {
+	counts := make(map[string]CountSource, len(s.Nodes))
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		if n.Count > 0 {
+			counts[n.Name] = CountSource{Kind: SourceExplicit}
+			continue
+		}
+		resolved := false
+		// Head of a 1→* edge: count = |ET| (the Message rule).
+		for j := range s.Edges {
+			e := &s.Edges[j]
+			if e.Cardinality == schema.OneToMany && e.Head == n.Name && e.Tail != n.Name {
+				counts[n.Name] = CountSource{Kind: SourceEdgeHead, Edge: e.Name}
+				resolved = true
+				break
+			}
+		}
+		if resolved {
+			continue
+		}
+		// Tail of an edge with an explicit count: getNumNodes.
+		for j := range s.Edges {
+			e := &s.Edges[j]
+			if e.Count > 0 && e.Tail == n.Name {
+				counts[n.Name] = CountSource{Kind: SourceEdgeCount, Edge: e.Name}
+				resolved = true
+				break
+			}
+		}
+		if !resolved {
+			return nil, fmt.Errorf("depgraph: cannot infer instance count of node type %q", n.Name)
+		}
+	}
+	// Inference chains must be acyclic: a SourceEdgeHead edge's tail
+	// must not itself (transitively) depend on that edge's head.
+	for name := range counts {
+		seen := map[string]bool{}
+		cur := name
+		for {
+			if seen[cur] {
+				return nil, fmt.Errorf("depgraph: circular count inference involving %q", name)
+			}
+			seen[cur] = true
+			src := counts[cur]
+			if src.Kind == SourceExplicit {
+				break
+			}
+			e := s.EdgeType(src.Edge)
+			if src.Kind == SourceEdgeHead {
+				cur = e.Tail
+			} else {
+				break // SourceEdgeCount terminates (count from spec)
+			}
+		}
+	}
+	return counts, nil
+}
+
+// kahn topologically sorts the task graph, breaking ties by pipeline
+// stage then task id for deterministic plans.
+func kahn(tasks []Task, adj [][]int, indeg []int) ([]Task, error) {
+	ready := make([]int, 0, len(tasks))
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sortReady := func() {
+		sort.Slice(ready, func(a, b int) bool {
+			ta, tb := tasks[ready[a]], tasks[ready[b]]
+			if ta.Kind != tb.Kind {
+				return ta.Kind < tb.Kind
+			}
+			return ta.ID() < tb.ID()
+		})
+	}
+	sortReady()
+	out := make([]Task, 0, len(tasks))
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		out = append(out, tasks[i])
+		changed := false
+		for _, j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				ready = append(ready, j)
+				changed = true
+			}
+		}
+		if changed {
+			sortReady()
+		}
+	}
+	if len(out) != len(tasks) {
+		var stuck []string
+		for i, d := range indeg {
+			if d > 0 {
+				stuck = append(stuck, tasks[i].ID())
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("depgraph: dependency cycle among tasks %v", stuck)
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+// Package dsl implements DataSynth's schema definition language — the
+// paper's "Domain Specific Language for the specification of the data
+// to generate" (Section 2, "other requirements"). A schema file looks
+// like:
+//
+//	graph social {
+//	  seed = 42
+//	  node Person {
+//	    count = 10000
+//	    property country : string = categorical(dict="countries")
+//	    property sex     : string = categorical(values="M|F")
+//	    property name    : string = dictionary() given (country, sex)
+//	  }
+//	  edge knows : Person *-* Person {
+//	    structure = lfr(avgDegree=20)
+//	    correlate country homophily 0.8
+//	    property creationDate : date = max-endpoint-date() given (tail.creationDate, head.creationDate)
+//	  }
+//	  edge creates : Person 1-* Message {
+//	    structure = powerlaw-out(min=1, max=20, gamma=2.0)
+//	  }
+//	}
+//
+// The parser compiles the text into a schema.Schema; all semantic
+// validation lives in the schema package.
+package dsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexer token kinds.
+type tokKind int
+
+const (
+	tokEOF    tokKind = iota
+	tokWord           // identifiers, numbers, cardinalities: [A-Za-z0-9_.*+-]+
+	tokString         // "quoted"
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokEquals
+	tokColon
+	tokComma
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokWord:
+		return "word"
+	case tokString:
+		return "string"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokEquals:
+		return "'='"
+	case tokColon:
+		return "':'"
+	case tokComma:
+		return "','"
+	default:
+		return fmt.Sprintf("tokKind(%d)", int(k))
+	}
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// lexer splits DSL source into tokens. Comments run from '#' or '//'
+// to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' ||
+		c == '_' || c == '.' || c == '-' || c == '*' || c == '+'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+		case c == '\n':
+			l.advance()
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			goto lex
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+
+lex:
+	start := token{line: l.line, col: l.col}
+	c := l.src[l.pos]
+	switch c {
+	case '{':
+		l.advance()
+		start.kind = tokLBrace
+		return start, nil
+	case '}':
+		l.advance()
+		start.kind = tokRBrace
+		return start, nil
+	case '(':
+		l.advance()
+		start.kind = tokLParen
+		return start, nil
+	case ')':
+		l.advance()
+		start.kind = tokRParen
+		return start, nil
+	case '=':
+		l.advance()
+		start.kind = tokEquals
+		return start, nil
+	case ':':
+		l.advance()
+		start.kind = tokColon
+		return start, nil
+	case ',':
+		l.advance()
+		start.kind = tokComma
+		return start, nil
+	case '"':
+		l.advance()
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				return start, fmt.Errorf("dsl:%d:%d: unterminated string", start.line, start.col)
+			}
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.advance()
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			return start, fmt.Errorf("dsl:%d:%d: unterminated string", start.line, start.col)
+		}
+		l.advance() // closing quote
+		start.kind = tokString
+		start.text = sb.String()
+		return start, nil
+	}
+	if isWordChar(c) {
+		from := l.pos
+		for l.pos < len(l.src) && isWordChar(l.src[l.pos]) {
+			l.advance()
+		}
+		start.kind = tokWord
+		start.text = l.src[from:l.pos]
+		return start, nil
+	}
+	return start, fmt.Errorf("dsl:%d:%d: unexpected character %q", start.line, start.col, string(c))
+}
+
+func (l *lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.advance()
+	}
+}
+
+// lexAll tokenises the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package graph provides a compact undirected-graph representation and
+// the structural metrics the paper's Section 2 lists as characteristics
+// a generator must reproduce: degree distribution, clustering
+// coefficient, connected components, diameter, assortativity and
+// community quality (modularity).
+//
+// The package is a substrate: structure generators are validated
+// against it in tests, and the Table 1 capability harness measures
+// generated graphs with it.
+package graph
+
+import (
+	"fmt"
+
+	"datasynth/internal/table"
+)
+
+// Graph is an undirected graph in CSR (compressed sparse row) form.
+// Self-loops are allowed (they contribute one neighbour entry) and
+// parallel edges are preserved as built.
+type Graph struct {
+	n      int64
+	offs   []int64 // len n+1
+	adj    []int64 // len = sum of degrees
+	mEdges int64   // number of edges as built (each undirected edge once)
+}
+
+// FromEdgeTable builds an undirected CSR graph over n nodes from an
+// edge table. Each table row (t, h) becomes an undirected edge {t, h}.
+func FromEdgeTable(et *table.EdgeTable, n int64) (*Graph, error) {
+	if err := et.Validate(n, n); err != nil {
+		return nil, err
+	}
+	return FromEdges(et.Tail, et.Head, n)
+}
+
+// FromEdges builds an undirected CSR graph over n nodes from parallel
+// endpoint slices.
+func FromEdges(tail, head []int64, n int64) (*Graph, error) {
+	if len(tail) != len(head) {
+		return nil, fmt.Errorf("graph: ragged edge list (%d tails, %d heads)", len(tail), len(head))
+	}
+	deg := make([]int64, n)
+	for i := range tail {
+		t, h := tail[i], head[i]
+		if t < 0 || t >= n || h < 0 || h >= n {
+			return nil, fmt.Errorf("graph: edge %d (%d,%d) outside [0,%d)", i, t, h, n)
+		}
+		deg[t]++
+		if h != t {
+			deg[h]++
+		}
+	}
+	offs := make([]int64, n+1)
+	for v := int64(0); v < n; v++ {
+		offs[v+1] = offs[v] + deg[v]
+	}
+	adj := make([]int64, offs[n])
+	cur := make([]int64, n)
+	copy(cur, offs[:n])
+	for i := range tail {
+		t, h := tail[i], head[i]
+		adj[cur[t]] = h
+		cur[t]++
+		if h != t {
+			adj[cur[h]] = t
+			cur[h]++
+		}
+	}
+	return &Graph{n: n, offs: offs, adj: adj, mEdges: int64(len(tail))}, nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int64 { return g.n }
+
+// M returns the number of undirected edges as built.
+func (g *Graph) M() int64 { return g.mEdges }
+
+// Degree returns the degree of v (self-loops count once).
+func (g *Graph) Degree(v int64) int64 { return g.offs[v+1] - g.offs[v] }
+
+// Neighbors returns the adjacency slice of v. Callers must not modify
+// it.
+func (g *Graph) Neighbors(v int64) []int64 { return g.adj[g.offs[v]:g.offs[v+1]] }
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() []int64 {
+	var maxDeg int64
+	for v := int64(0); v < g.n; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	h := make([]int64, maxDeg+1)
+	for v := int64(0); v < g.n; v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// AvgDegree returns the mean degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(len(g.adj)) / float64(g.n)
+}
+
+// MaxDegree returns the maximum degree.
+func (g *Graph) MaxDegree() int64 {
+	var max int64
+	for v := int64(0); v < g.n; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ConnectedComponents labels nodes with component ids (0-based, in
+// discovery order) and returns (labels, componentCount).
+func (g *Graph) ConnectedComponents() ([]int64, int64) {
+	labels := make([]int64, g.n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var comp int64
+	stack := make([]int64, 0, 1024)
+	for s := int64(0); s < g.n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		stack = append(stack[:0], s)
+		labels[s] = comp
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.Neighbors(v) {
+				if labels[u] == -1 {
+					labels[u] = comp
+					stack = append(stack, u)
+				}
+			}
+		}
+		comp++
+	}
+	return labels, comp
+}
+
+// LargestComponentFraction returns |largest component| / n.
+func (g *Graph) LargestComponentFraction() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	labels, k := g.ConnectedComponents()
+	sizes := make([]int64, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	var max int64
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) / float64(g.n)
+}
+
+// BFSDistances returns hop distances from src (-1 for unreachable).
+func (g *Graph) BFSDistances(src int64) []int64 {
+	dist := make([]int64, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int64{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// ApproxDiameter estimates the diameter by double-sweep BFS from
+// `samples` pseudo-random start nodes; it is a lower bound, the usual
+// approach on large graphs.
+func (g *Graph) ApproxDiameter(samples int, seed uint64) int64 {
+	if g.n == 0 {
+		return 0
+	}
+	var best int64
+	s := seed
+	for i := 0; i < samples; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		start := int64(s % uint64(g.n))
+		far, _ := farthest(g.BFSDistances(start))
+		d2 := g.BFSDistances(far)
+		_, ecc := farthest(d2)
+		if ecc > best {
+			best = ecc
+		}
+	}
+	return best
+}
+
+func farthest(dist []int64) (node, d int64) {
+	node, d = 0, 0
+	for v, dv := range dist {
+		if dv > d {
+			node, d = int64(v), dv
+		}
+	}
+	return
+}

@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"datasynth/internal/table"
+)
+
+// triangle returns K3.
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges([]int64{0, 1, 2}, []int64{1, 2, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// path returns the path 0-1-2-3.
+func path(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges([]int64{0, 1, 2}, []int64{1, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromEdgesValidation(t *testing.T) {
+	if _, err := FromEdges([]int64{0}, []int64{}, 2); err == nil {
+		t.Error("ragged edges should fail")
+	}
+	if _, err := FromEdges([]int64{0}, []int64{5}, 2); err == nil {
+		t.Error("out-of-range endpoint should fail")
+	}
+	if _, err := FromEdges([]int64{-1}, []int64{0}, 2); err == nil {
+		t.Error("negative endpoint should fail")
+	}
+}
+
+func TestFromEdgeTable(t *testing.T) {
+	et := table.NewEdgeTable("e", 2)
+	et.Add(0, 1)
+	et.Add(1, 2)
+	g, err := FromEdgeTable(et, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("N=%d M=%d", g.N(), g.M())
+	}
+	if _, err := FromEdgeTable(et, 2); err == nil {
+		t.Error("node bound should be enforced")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := path(t)
+	want := []int64{1, 2, 2, 1}
+	for v, d := range want {
+		if g.Degree(int64(v)) != d {
+			t.Errorf("deg(%d) = %d, want %d", v, g.Degree(int64(v)), d)
+		}
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+	if math.Abs(g.AvgDegree()-1.5) > 1e-12 {
+		t.Errorf("AvgDegree = %v", g.AvgDegree())
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 2 || h[2] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestSelfLoopDegree(t *testing.T) {
+	g, err := FromEdges([]int64{0}, []int64{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 1 {
+		t.Errorf("self-loop degree = %d, want 1", g.Degree(0))
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	g := path(t)
+	n1 := g.Neighbors(1)
+	if len(n1) != 2 {
+		t.Fatalf("neighbors(1) = %v", n1)
+	}
+	found0, found2 := false, false
+	for _, u := range n1 {
+		if u == 0 {
+			found0 = true
+		}
+		if u == 2 {
+			found2 = true
+		}
+	}
+	if !found0 || !found2 {
+		t.Errorf("neighbors(1) = %v, want {0,2}", n1)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: 0-1 and 2-3-4.
+	g, err := FromEdges([]int64{0, 2, 3}, []int64{1, 3, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, k := g.ConnectedComponents()
+	if k != 2 {
+		t.Fatalf("components = %d, want 2", k)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[3] != labels[4] {
+		t.Errorf("labels = %v", labels)
+	}
+	if labels[0] == labels[2] {
+		t.Errorf("components merged: %v", labels)
+	}
+	if f := g.LargestComponentFraction(); math.Abs(f-0.6) > 1e-12 {
+		t.Errorf("largest fraction = %v, want 0.6", f)
+	}
+}
+
+func TestIsolatedNodesAreComponents(t *testing.T) {
+	g, err := FromEdges(nil, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k := g.ConnectedComponents()
+	if k != 3 {
+		t.Errorf("components = %d, want 3", k)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(t)
+	d := g.BFSDistances(0)
+	want := []int64{0, 1, 2, 3}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Errorf("dist(0,%d) = %d, want %d", v, d[v], want[v])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g, err := FromEdges([]int64{0}, []int64{1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.BFSDistances(0)
+	if d[2] != -1 {
+		t.Errorf("unreachable dist = %d, want -1", d[2])
+	}
+}
+
+func TestApproxDiameterPath(t *testing.T) {
+	g := path(t)
+	if d := g.ApproxDiameter(4, 1); d != 3 {
+		t.Errorf("diameter = %d, want 3", d)
+	}
+}
+
+func TestLocalClusteringTriangle(t *testing.T) {
+	g := triangle(t)
+	for v := int64(0); v < 3; v++ {
+		if c := g.LocalClustering(v); math.Abs(c-1) > 1e-12 {
+			t.Errorf("clustering(%d) = %v, want 1", v, c)
+		}
+	}
+	if c := g.AvgClustering(0, 0); math.Abs(c-1) > 1e-12 {
+		t.Errorf("avg clustering = %v, want 1", c)
+	}
+}
+
+func TestLocalClusteringPath(t *testing.T) {
+	g := path(t)
+	for v := int64(0); v < 4; v++ {
+		if c := g.LocalClustering(v); c != 0 {
+			t.Errorf("clustering(%d) = %v, want 0", v, c)
+		}
+	}
+}
+
+func TestClusteringPerDegree(t *testing.T) {
+	g := triangle(t)
+	ccd := g.ClusteringPerDegree()
+	if len(ccd) != 3 {
+		t.Fatalf("ccd len = %d", len(ccd))
+	}
+	if math.Abs(ccd[2]-1) > 1e-12 {
+		t.Errorf("ccd[2] = %v, want 1", ccd[2])
+	}
+	if !math.IsNaN(ccd[0]) || !math.IsNaN(ccd[1]) {
+		t.Errorf("absent degrees should be NaN: %v", ccd)
+	}
+}
+
+func TestAssortativityStar(t *testing.T) {
+	// A star is maximally disassortative.
+	g, err := FromEdges([]int64{0, 0, 0, 0}, []int64{1, 2, 3, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := g.DegreeAssortativity(); a > -0.99 {
+		t.Errorf("star assortativity = %v, want ~-1", a)
+	}
+}
+
+func TestAssortativityRegular(t *testing.T) {
+	// Cycle: all degrees equal, zero variance -> NaN.
+	g, err := FromEdges([]int64{0, 1, 2, 3}, []int64{1, 2, 3, 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := g.DegreeAssortativity(); !math.IsNaN(a) {
+		t.Errorf("regular graph assortativity = %v, want NaN", a)
+	}
+}
+
+func TestModularityPerfectSplit(t *testing.T) {
+	// Two disjoint triangles with matching labels: Q = 0.5.
+	g, err := FromEdges(
+		[]int64{0, 1, 2, 3, 4, 5},
+		[]int64{1, 2, 0, 4, 5, 3}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []int64{0, 0, 0, 1, 1, 1}
+	if q := g.Modularity(labels); math.Abs(q-0.5) > 1e-12 {
+		t.Errorf("modularity = %v, want 0.5", q)
+	}
+	// All-in-one labelling: Q = 0.
+	if q := g.Modularity(make([]int64, 6)); math.Abs(q) > 1e-12 {
+		t.Errorf("single-community modularity = %v, want 0", q)
+	}
+}
+
+func TestMixingFraction(t *testing.T) {
+	g, err := FromEdges([]int64{0, 1}, []int64{1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels 0,0,1: edge 0-1 intra, edge 1-2 inter -> mixing 0.5.
+	if mu := g.MixingFraction([]int64{0, 0, 1}); math.Abs(mu-0.5) > 1e-12 {
+		t.Errorf("mixing = %v, want 0.5", mu)
+	}
+}
+
+func TestGiniDegreeExtremes(t *testing.T) {
+	cycle, _ := FromEdges([]int64{0, 1, 2, 3}, []int64{1, 2, 3, 0}, 4)
+	if gi := cycle.GiniDegree(); math.Abs(gi) > 1e-9 {
+		t.Errorf("regular Gini = %v, want 0", gi)
+	}
+	star, _ := FromEdges([]int64{0, 0, 0, 0, 0, 0}, []int64{1, 2, 3, 4, 5, 6}, 7)
+	if gi := star.GiniDegree(); gi < 0.3 {
+		t.Errorf("star Gini = %v, want > 0.3", gi)
+	}
+}
+
+func TestPowerLawAlphaMLE(t *testing.T) {
+	// Star graph has one huge degree; MLE over dmin=1 should exceed 1.
+	star, _ := FromEdges([]int64{0, 0, 0, 0}, []int64{1, 2, 3, 4}, 5)
+	if a := star.PowerLawAlphaMLE(1); math.IsNaN(a) || a <= 1 {
+		t.Errorf("alpha = %v", a)
+	}
+}
+
+func TestCSRInvariantProperty(t *testing.T) {
+	// Property: sum of degrees equals 2*m - selfloops for arbitrary edge
+	// lists.
+	f := func(pairs []uint16) bool {
+		const n = 32
+		tails := make([]int64, len(pairs))
+		heads := make([]int64, len(pairs))
+		selfLoops := int64(0)
+		for i, p := range pairs {
+			tails[i] = int64(p % n)
+			heads[i] = int64((p / n) % n)
+			if tails[i] == heads[i] {
+				selfLoops++
+			}
+		}
+		g, err := FromEdges(tails, heads, n)
+		if err != nil {
+			return false
+		}
+		var degSum int64
+		for v := int64(0); v < n; v++ {
+			degSum += g.Degree(v)
+		}
+		return degSum == 2*int64(len(pairs))-selfLoops
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	// Property: modularity always <= 1 and >= -1 for random labelled
+	// graphs.
+	f := func(pairs []uint16, labelSeed uint8) bool {
+		const n = 24
+		tails := make([]int64, 0, len(pairs))
+		heads := make([]int64, 0, len(pairs))
+		for _, p := range pairs {
+			tails = append(tails, int64(p%n))
+			heads = append(heads, int64((p/n)%n))
+		}
+		g, err := FromEdges(tails, heads, n)
+		if err != nil {
+			return false
+		}
+		labels := make([]int64, n)
+		for i := range labels {
+			labels[i] = int64((int(labelSeed) + i*7) % 4)
+		}
+		q := g.Modularity(labels)
+		return q <= 1.0+1e-9 && q >= -1.0-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

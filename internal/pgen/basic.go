@@ -1,0 +1,409 @@
+package pgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+// This file implements the core value samplers: categorical (with
+// optional weights or Zipf ranks, via inverse transform sampling as the
+// paper suggests), uniform int/float/date, normal, sequence, uuid and
+// constant generators.
+
+// Categorical draws a string from a weighted value list.
+type Categorical struct {
+	values []string
+	dist   *xrand.Discrete
+}
+
+// NewCategorical builds a categorical generator; weights nil means
+// uniform.
+func NewCategorical(values []string, weights []float64) (*Categorical, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("pgen: categorical needs at least one value")
+	}
+	if weights == nil {
+		weights = make([]float64, len(values))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(values) {
+		return nil, fmt.Errorf("pgen: %d weights for %d values", len(weights), len(values))
+	}
+	d, err := xrand.NewDiscrete(weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Categorical{values: values, dist: d}, nil
+}
+
+// NewZipfCategorical weights the i-th value by 1/(i+1)^theta.
+func NewZipfCategorical(values []string, theta float64) (*Categorical, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("pgen: zipf categorical needs values")
+	}
+	z, err := xrand.NewZipf(len(values), theta)
+	if err != nil {
+		return nil, err
+	}
+	w := make([]float64, len(values))
+	for i := range w {
+		w[i] = z.Prob(i)
+	}
+	return NewCategorical(values, w)
+}
+
+// Name implements Generator.
+func (c *Categorical) Name() string { return "categorical" }
+
+// Kind implements Generator.
+func (c *Categorical) Kind() table.ValueKind { return table.KindString }
+
+// Arity implements Generator.
+func (c *Categorical) Arity() int { return 0 }
+
+// Run implements Generator via inverse transform sampling.
+func (c *Categorical) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	return StringValue(c.values[c.dist.Sample(s, id)]), nil
+}
+
+// Values exposes the category list (used by the engine to map values to
+// group indices for matching).
+func (c *Categorical) Values() []string { return c.values }
+
+// Prob returns the probability of the i-th value.
+func (c *Categorical) Prob(i int) float64 { return c.dist.Prob(i) }
+
+// UniformInt draws int64 uniform in [Lo, Hi].
+type UniformInt struct{ Lo, Hi int64 }
+
+// Name implements Generator.
+func (u *UniformInt) Name() string { return "uniform-int" }
+
+// Kind implements Generator.
+func (u *UniformInt) Kind() table.ValueKind { return table.KindInt }
+
+// Arity implements Generator.
+func (u *UniformInt) Arity() int { return 0 }
+
+// Run implements Generator.
+func (u *UniformInt) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	if u.Hi < u.Lo {
+		return Value{}, fmt.Errorf("pgen: uniform-int range [%d,%d] empty", u.Lo, u.Hi)
+	}
+	return IntValue(u.Lo + s.Intn(id, u.Hi-u.Lo+1)), nil
+}
+
+// UniformFloat draws float64 uniform in [Lo, Hi).
+type UniformFloat struct{ Lo, Hi float64 }
+
+// Name implements Generator.
+func (u *UniformFloat) Name() string { return "uniform-float" }
+
+// Kind implements Generator.
+func (u *UniformFloat) Kind() table.ValueKind { return table.KindFloat }
+
+// Arity implements Generator.
+func (u *UniformFloat) Arity() int { return 0 }
+
+// Run implements Generator.
+func (u *UniformFloat) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	if u.Hi <= u.Lo {
+		return Value{}, fmt.Errorf("pgen: uniform-float range [%v,%v) empty", u.Lo, u.Hi)
+	}
+	return FloatValue(s.Float64Range(id, u.Lo, u.Hi)), nil
+}
+
+// UniformDate draws a date uniform in [From, To] (days since epoch).
+type UniformDate struct{ From, To int64 }
+
+// Name implements Generator.
+func (u *UniformDate) Name() string { return "uniform-date" }
+
+// Kind implements Generator.
+func (u *UniformDate) Kind() table.ValueKind { return table.KindDate }
+
+// Arity implements Generator.
+func (u *UniformDate) Arity() int { return 0 }
+
+// Run implements Generator.
+func (u *UniformDate) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	if u.To < u.From {
+		return Value{}, fmt.Errorf("pgen: uniform-date range empty")
+	}
+	return DateValue(u.From + s.Intn(id, u.To-u.From+1)), nil
+}
+
+// Normal draws a normal float with the given mean and standard
+// deviation.
+type Normal struct{ Mean, Std float64 }
+
+// Name implements Generator.
+func (n *Normal) Name() string { return "normal" }
+
+// Kind implements Generator.
+func (n *Normal) Kind() table.ValueKind { return table.KindFloat }
+
+// Arity implements Generator.
+func (n *Normal) Arity() int { return 0 }
+
+// Run implements Generator.
+func (n *Normal) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	if n.Std < 0 {
+		return Value{}, fmt.Errorf("pgen: normal needs std >= 0")
+	}
+	return FloatValue(n.Mean + n.Std*s.NormFloat64(id)), nil
+}
+
+// Sequence returns the instance id itself (plus an offset) — the
+// paper's "user-controlled uuids that can be correlated with other
+// properties such as the time".
+type Sequence struct{ Offset int64 }
+
+// Name implements Generator.
+func (q *Sequence) Name() string { return "sequence" }
+
+// Kind implements Generator.
+func (q *Sequence) Kind() table.ValueKind { return table.KindInt }
+
+// Arity implements Generator.
+func (q *Sequence) Arity() int { return 0 }
+
+// Run implements Generator.
+func (q *Sequence) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	return IntValue(q.Offset + id), nil
+}
+
+// UUID produces a deterministic 32-hex-digit identifier from the
+// instance id and stream.
+type UUID struct{}
+
+// Name implements Generator.
+func (UUID) Name() string { return "uuid" }
+
+// Kind implements Generator.
+func (UUID) Kind() table.ValueKind { return table.KindString }
+
+// Arity implements Generator.
+func (UUID) Arity() int { return 0 }
+
+// Run implements Generator.
+func (UUID) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	a := s.U64(2 * id)
+	b := s.U64(2*id + 1)
+	return StringValue(fmt.Sprintf("%016x%016x", a, b)), nil
+}
+
+// Constant returns a fixed value.
+type Constant struct{ V Value }
+
+// Name implements Generator.
+func (c *Constant) Name() string { return "constant" }
+
+// Kind implements Generator.
+func (c *Constant) Kind() table.ValueKind { return c.V.Kind }
+
+// Arity implements Generator.
+func (c *Constant) Arity() int { return 0 }
+
+// Run implements Generator.
+func (c *Constant) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	return c.V, nil
+}
+
+// Text produces pseudo-random sentences of Words words drawn from the
+// embedded lexicon — the running example's Message.text.
+type Text struct{ MinWords, MaxWords int }
+
+// Name implements Generator.
+func (t *Text) Name() string { return "text" }
+
+// Kind implements Generator.
+func (t *Text) Kind() table.ValueKind { return table.KindString }
+
+// Arity implements Generator.
+func (t *Text) Arity() int { return 0 }
+
+// Run implements Generator.
+func (t *Text) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	if t.MinWords < 1 || t.MaxWords < t.MinWords {
+		return Value{}, fmt.Errorf("pgen: text word bounds [%d,%d] invalid", t.MinWords, t.MaxWords)
+	}
+	n := t.MinWords + int(s.Intn(id*2+1, int64(t.MaxWords-t.MinWords+1)))
+	sub := s.DeriveStream("words")
+	var sb strings.Builder
+	for w := 0; w < n; w++ {
+		if w > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(lexicon[sub.Intn(id*97+int64(w), int64(len(lexicon)))])
+	}
+	return StringValue(sb.String()), nil
+}
+
+// registerBuiltins wires every built-in factory into a registry.
+func registerBuiltins(r *Registry) {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(r.Register("categorical", func(p map[string]string) (Generator, error) {
+		values := paramList(p, "values")
+		if dict := p["dict"]; dict != "" {
+			dv, dw, err := Dictionary(dict)
+			if err != nil {
+				return nil, err
+			}
+			return NewCategorical(dv, dw)
+		}
+		var weights []float64
+		if ws := paramList(p, "weights"); ws != nil {
+			weights = make([]float64, len(ws))
+			for i, w := range ws {
+				f, err := strconv.ParseFloat(w, 64)
+				if err != nil {
+					return nil, fmt.Errorf("pgen: weight %q: %w", w, err)
+				}
+				weights[i] = f
+			}
+		}
+		return NewCategorical(values, weights)
+	}))
+	must(r.Register("zipf", func(p map[string]string) (Generator, error) {
+		values := paramList(p, "values")
+		if dict := p["dict"]; dict != "" {
+			dv, _, err := Dictionary(dict)
+			if err != nil {
+				return nil, err
+			}
+			values = dv
+		}
+		theta, err := paramFloat(p, "theta", 1.0)
+		if err != nil {
+			return nil, err
+		}
+		return NewZipfCategorical(values, theta)
+	}))
+	must(r.Register("uniform-int", func(p map[string]string) (Generator, error) {
+		lo, err := paramInt(p, "lo", 0)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := paramInt(p, "hi", 100)
+		if err != nil {
+			return nil, err
+		}
+		return &UniformInt{Lo: lo, Hi: hi}, nil
+	}))
+	must(r.Register("uniform-float", func(p map[string]string) (Generator, error) {
+		lo, err := paramFloat(p, "lo", 0)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := paramFloat(p, "hi", 1)
+		if err != nil {
+			return nil, err
+		}
+		return &UniformFloat{Lo: lo, Hi: hi}, nil
+	}))
+	must(r.Register("uniform-date", func(p map[string]string) (Generator, error) {
+		from, err := paramDate(p, "from", "2010-01-01")
+		if err != nil {
+			return nil, err
+		}
+		to, err := paramDate(p, "to", "2020-01-01")
+		if err != nil {
+			return nil, err
+		}
+		return &UniformDate{From: from, To: to}, nil
+	}))
+	must(r.Register("normal", func(p map[string]string) (Generator, error) {
+		mean, err := paramFloat(p, "mean", 0)
+		if err != nil {
+			return nil, err
+		}
+		std, err := paramFloat(p, "std", 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Normal{Mean: mean, Std: std}, nil
+	}))
+	must(r.Register("sequence", func(p map[string]string) (Generator, error) {
+		off, err := paramInt(p, "offset", 0)
+		if err != nil {
+			return nil, err
+		}
+		return &Sequence{Offset: off}, nil
+	}))
+	must(r.Register("uuid", func(p map[string]string) (Generator, error) {
+		return UUID{}, nil
+	}))
+	must(r.Register("constant", func(p map[string]string) (Generator, error) {
+		v, ok := p["value"]
+		if !ok {
+			return nil, fmt.Errorf("pgen: constant needs value=")
+		}
+		return &Constant{V: StringValue(v)}, nil
+	}))
+	must(r.Register("text", func(p map[string]string) (Generator, error) {
+		lo, err := paramInt(p, "min", 3)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := paramInt(p, "max", 12)
+		if err != nil {
+			return nil, err
+		}
+		return &Text{MinWords: int(lo), MaxWords: int(hi)}, nil
+	}))
+	must(r.Register("multi-categorical", func(p map[string]string) (Generator, error) {
+		values := paramList(p, "values")
+		var weights []float64
+		if dict := p["dict"]; dict != "" {
+			dv, dw, err := Dictionary(dict)
+			if err != nil {
+				return nil, err
+			}
+			values, weights = dv, dw
+		}
+		lo, err := paramInt(p, "min", 1)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := paramInt(p, "max", 3)
+		if err != nil {
+			return nil, err
+		}
+		return NewMultiCategorical(values, weights, int(lo), int(hi), p["sep"])
+	}))
+	must(r.Register("dictionary", func(p map[string]string) (Generator, error) {
+		return NewConditionalName(p["dict"])
+	}))
+	must(r.Register("max-endpoint-date", func(p map[string]string) (Generator, error) {
+		maxDays, err := paramInt(p, "maxDays", 365)
+		if err != nil {
+			return nil, err
+		}
+		return &MaxEndpointDate{MaxLagDays: maxDays}, nil
+	}))
+	must(r.Register("endpoint-copy", func(p map[string]string) (Generator, error) {
+		return &EndpointCopy{}, nil
+	}))
+	must(r.Register("rating", func(p map[string]string) (Generator, error) {
+		lo, err := paramInt(p, "lo", 1)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := paramInt(p, "hi", 5)
+		if err != nil {
+			return nil, err
+		}
+		return &Rating{Lo: lo, Hi: hi}, nil
+	}))
+}

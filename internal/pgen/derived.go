@@ -1,0 +1,106 @@
+package pgen
+
+import (
+	"fmt"
+
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+// Derived edge-property generators: these implement the paper's
+// "binary logical relations between numerical values", e.g. the running
+// example's constraint that knows.creationDate must be greater than the
+// creationDate of both connected Persons. Their dependencies are the
+// endpoint property values (resolved by the engine through the edge's
+// tail/head ids).
+
+// MaxEndpointDate produces max(dep dates) + uniform(1, MaxLagDays)
+// days, guaranteeing the edge date strictly exceeds both endpoint
+// dates.
+type MaxEndpointDate struct {
+	// MaxLagDays bounds the added lag (default 365).
+	MaxLagDays int64
+}
+
+// Name implements Generator.
+func (m *MaxEndpointDate) Name() string { return "max-endpoint-date" }
+
+// Kind implements Generator.
+func (m *MaxEndpointDate) Kind() table.ValueKind { return table.KindDate }
+
+// Arity implements Generator: (tail date, head date).
+func (m *MaxEndpointDate) Arity() int { return 2 }
+
+// Run implements Generator.
+func (m *MaxEndpointDate) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	if len(deps) < 1 {
+		return Value{}, fmt.Errorf("pgen: max-endpoint-date needs endpoint dates")
+	}
+	lag := m.MaxLagDays
+	if lag <= 0 {
+		lag = 365
+	}
+	maxD := deps[0].Int
+	for _, d := range deps[1:] {
+		if d.Int > maxD {
+			maxD = d.Int
+		}
+	}
+	return DateValue(maxD + 1 + s.Intn(id, lag)), nil
+}
+
+// EndpointCopy copies its single dependency value through — e.g. an
+// edge property mirroring a node property for denormalised exports.
+type EndpointCopy struct{}
+
+// Name implements Generator.
+func (EndpointCopy) Name() string { return "endpoint-copy" }
+
+// Kind implements Generator.
+func (EndpointCopy) Kind() table.ValueKind { return table.KindString }
+
+// Arity implements Generator.
+func (EndpointCopy) Arity() int { return 1 }
+
+// Run implements Generator.
+func (EndpointCopy) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	if len(deps) != 1 {
+		return Value{}, fmt.Errorf("pgen: endpoint-copy expects one dependency")
+	}
+	return deps[0], nil
+}
+
+// Rating produces an integer rating in [Lo, Hi] with a J-shaped
+// distribution (mass concentrated at the extremes, as observed in real
+// review datasets).
+type Rating struct{ Lo, Hi int64 }
+
+// Name implements Generator.
+func (r *Rating) Name() string { return "rating" }
+
+// Kind implements Generator.
+func (r *Rating) Kind() table.ValueKind { return table.KindInt }
+
+// Arity implements Generator.
+func (r *Rating) Arity() int { return 0 }
+
+// Run implements Generator.
+func (r *Rating) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	if r.Hi <= r.Lo {
+		return Value{}, fmt.Errorf("pgen: rating range [%d,%d] invalid", r.Lo, r.Hi)
+	}
+	span := r.Hi - r.Lo
+	u := s.Float64(id)
+	// J-shape: 50% top rating, 20% bottom, rest uniform in between.
+	switch {
+	case u < 0.5:
+		return IntValue(r.Hi), nil
+	case u < 0.7:
+		return IntValue(r.Lo), nil
+	default:
+		if span < 2 {
+			return IntValue(r.Lo), nil
+		}
+		return IntValue(r.Lo + 1 + s.Intn(id+1<<40, span-1)), nil
+	}
+}

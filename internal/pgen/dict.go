@@ -1,0 +1,167 @@
+package pgen
+
+import (
+	"fmt"
+
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+// Embedded dictionaries. The paper loads dictionaries from files in
+// initialize(); since this reproduction must be self-contained, we
+// embed compact synthetic dictionaries whose *distribution shape*
+// matches the real-world ones the running example needs: country
+// populations are heavily skewed, names are conditioned on (country
+// region, sex) — the paper's P(name | country, sex).
+
+// countries lists country names with weights roughly proportional to
+// real population shares, giving the skewed Pcountry(X) of the running
+// example.
+var countries = []string{
+	"China", "India", "USA", "Indonesia", "Pakistan", "Brazil", "Nigeria",
+	"Bangladesh", "Russia", "Mexico", "Japan", "Ethiopia", "Philippines",
+	"Egypt", "Vietnam", "Germany", "Turkey", "Iran", "Thailand", "UK",
+	"France", "Italy", "Tanzania", "SouthAfrica", "Myanmar", "Kenya",
+	"SouthKorea", "Colombia", "Spain", "Uganda", "Argentina", "Algeria",
+	"Sudan", "Ukraine", "Iraq", "Afghanistan", "Poland", "Canada",
+	"Morocco", "SaudiArabia",
+}
+
+var countryWeights = []float64{
+	1412, 1380, 331, 273, 220, 212, 206, 164, 146, 128, 126, 115, 109,
+	102, 97, 83, 84, 84, 70, 67, 65, 60, 60, 59, 54, 54, 52, 51, 47, 46,
+	45, 44, 44, 44, 40, 39, 38, 38, 37, 35,
+}
+
+// regionOf groups countries into name-regions so the conditional name
+// dictionary stays compact while still correlating name with country.
+var regionOf = map[string]string{
+	"China": "east-asia", "Japan": "east-asia", "SouthKorea": "east-asia",
+	"Vietnam": "east-asia", "Thailand": "east-asia", "Myanmar": "east-asia",
+	"Indonesia": "east-asia", "Philippines": "east-asia",
+	"India": "south-asia", "Pakistan": "south-asia", "Bangladesh": "south-asia",
+	"Afghanistan": "south-asia", "Iran": "south-asia",
+	"USA": "western", "UK": "western", "France": "western", "Germany": "western",
+	"Italy": "western", "Spain": "western", "Canada": "western", "Poland": "western",
+	"Ukraine": "western", "Russia": "western", "Argentina": "latin",
+	"Brazil": "latin", "Mexico": "latin", "Colombia": "latin",
+	"Nigeria": "africa", "Ethiopia": "africa", "Egypt": "africa",
+	"Tanzania": "africa", "SouthAfrica": "africa", "Kenya": "africa",
+	"Uganda": "africa", "Sudan": "africa", "Algeria": "africa", "Morocco": "africa",
+	"Turkey": "middle-east", "Iraq": "middle-east", "SaudiArabia": "middle-east",
+}
+
+// namesByRegionSex is the conditional dictionary behind
+// P(name | country, sex).
+var namesByRegionSex = map[string][]string{
+	"east-asia/M":   {"Wei", "Hiroshi", "Minh", "Jin", "Kenji", "Liang", "Somchai", "Budi", "Takeshi", "Feng"},
+	"east-asia/F":   {"Mei", "Yuki", "Linh", "Xiu", "Sakura", "Hana", "Ratree", "Dewi", "Aiko", "Lan"},
+	"south-asia/M":  {"Arjun", "Ali", "Rahul", "Imran", "Sanjay", "Farid", "Vikram", "Tariq", "Ravi", "Omar"},
+	"south-asia/F":  {"Priya", "Fatima", "Anjali", "Ayesha", "Lakshmi", "Zara", "Meera", "Nadia", "Sita", "Amina"},
+	"western/M":     {"James", "Pierre", "Hans", "Marco", "Carlos", "Piotr", "Ivan", "David", "Liam", "Lukas"},
+	"western/F":     {"Emma", "Marie", "Greta", "Giulia", "Lucia", "Anna", "Olga", "Sophie", "Mia", "Clara"},
+	"latin/M":       {"Mateo", "Santiago", "Diego", "Luis", "Pedro", "Javier", "Andres", "Rafael", "Jorge", "Pablo"},
+	"latin/F":       {"Sofia", "Valentina", "Camila", "Isabella", "Luciana", "Gabriela", "Mariana", "Elena", "Carmen", "Rosa"},
+	"africa/M":      {"Kwame", "Chinedu", "Tesfaye", "Juma", "Sipho", "Amadou", "Kofi", "Abubakar", "Thabo", "Moussa"},
+	"africa/F":      {"Amara", "Ngozi", "Desta", "Zainab", "Thandiwe", "Fanta", "Abena", "Halima", "Naledi", "Awa"},
+	"middle-east/M": {"Mehmet", "Ahmed", "Mustafa", "Hassan", "Yusuf", "Khalid", "Emre", "Saad", "Faisal", "Murat"},
+	"middle-east/F": {"Leyla", "Yasmin", "Elif", "Noor", "Rania", "Zeynep", "Layla", "Huda", "Selin", "Dalia"},
+}
+
+// topics is a generic subject dictionary for Message.topic and
+// Person.interest.
+var topics = []string{
+	"music", "sports", "politics", "movies", "travel", "food", "science",
+	"technology", "art", "history", "fashion", "gaming", "health",
+	"finance", "nature", "photography", "literature", "education",
+	"space", "cars",
+}
+
+// lexicon is the word pool for the text generator.
+var lexicon = []string{
+	"the", "quick", "graph", "node", "edge", "query", "data", "social",
+	"network", "message", "friend", "post", "share", "like", "comment",
+	"today", "great", "new", "time", "world", "people", "think", "know",
+	"good", "day", "life", "work", "love", "best", "real",
+}
+
+// sexes is the binary sex dictionary of the running example.
+var sexes = []string{"M", "F"}
+
+// Dictionary returns an embedded dictionary's values and weights
+// (weights may be nil for uniform).
+func Dictionary(name string) ([]string, []float64, error) {
+	switch name {
+	case "countries":
+		return countries, countryWeights, nil
+	case "topics":
+		return topics, nil, nil
+	case "sexes":
+		return sexes, nil, nil
+	case "words":
+		return lexicon, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("pgen: unknown dictionary %q", name)
+	}
+}
+
+// ConditionalName implements the paper's flagship conditional PG:
+// P(name | country, sex). Its Run expects two dependency values,
+// country then sex, and samples from the (region, sex) name list by
+// inverse transform with a Zipf-ish weighting (common names are more
+// common).
+type ConditionalName struct {
+	dists map[string]*Categorical
+}
+
+// NewConditionalName builds the generator; the dict parameter is
+// accepted for DSL symmetry but only the embedded dictionary exists.
+func NewConditionalName(dict string) (*ConditionalName, error) {
+	if dict != "" && dict != "names" {
+		return nil, fmt.Errorf("pgen: unknown name dictionary %q", dict)
+	}
+	dists := make(map[string]*Categorical, len(namesByRegionSex))
+	for key, names := range namesByRegionSex {
+		c, err := NewZipfCategorical(names, 0.8)
+		if err != nil {
+			return nil, err
+		}
+		dists[key] = c
+	}
+	return &ConditionalName{dists: dists}, nil
+}
+
+// Name implements Generator.
+func (c *ConditionalName) Name() string { return "dictionary" }
+
+// Kind implements Generator.
+func (c *ConditionalName) Kind() table.ValueKind { return table.KindString }
+
+// Arity implements Generator: (country, sex).
+func (c *ConditionalName) Arity() int { return 2 }
+
+// Run implements Generator.
+func (c *ConditionalName) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	if len(deps) != 2 {
+		return Value{}, fmt.Errorf("pgen: dictionary expects (country, sex), got %d deps", len(deps))
+	}
+	region, ok := regionOf[deps[0].Str]
+	if !ok {
+		region = "western"
+	}
+	sex := deps[1].Str
+	if sex != "M" && sex != "F" {
+		sex = "M"
+	}
+	d := c.dists[region+"/"+sex]
+	return d.Run(id, s, nil)
+}
+
+// NamesFor exposes the name list of a (country, sex) pair for tests.
+func NamesFor(country, sex string) []string {
+	region, ok := regionOf[country]
+	if !ok {
+		region = "western"
+	}
+	return namesByRegionSex[region+"/"+sex]
+}

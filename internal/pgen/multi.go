@@ -1,0 +1,88 @@
+package pgen
+
+import (
+	"fmt"
+	"strings"
+
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+// MultiCategorical implements the paper's future-work multi-valued
+// properties ("performing experiments for multi-valued properties
+// would also be interesting"): each instance receives a *set* of 1..Max
+// distinct categorical values, rendered as a separator-joined string
+// (e.g. interests = "music;travel;science"). The first value is drawn
+// from the full weighted distribution and acts as the instance's
+// primary value — the one correlation matching uses when a multi-valued
+// property is correlated with structure.
+type MultiCategorical struct {
+	inner     *Categorical
+	Min, Max  int
+	Separator string
+}
+
+// NewMultiCategorical builds the generator. min >= 1, max >= min, and
+// max must not exceed the number of distinct values.
+func NewMultiCategorical(values []string, weights []float64, min, max int, sep string) (*MultiCategorical, error) {
+	c, err := NewCategorical(values, weights)
+	if err != nil {
+		return nil, err
+	}
+	if min < 1 || max < min {
+		return nil, fmt.Errorf("pgen: multi-categorical set size bounds [%d,%d] invalid", min, max)
+	}
+	if max > len(values) {
+		return nil, fmt.Errorf("pgen: set size %d exceeds %d distinct values", max, len(values))
+	}
+	if sep == "" {
+		sep = ";"
+	}
+	return &MultiCategorical{inner: c, Min: min, Max: max, Separator: sep}, nil
+}
+
+// Name implements Generator.
+func (m *MultiCategorical) Name() string { return "multi-categorical" }
+
+// Kind implements Generator.
+func (m *MultiCategorical) Kind() table.ValueKind { return table.KindString }
+
+// Arity implements Generator.
+func (m *MultiCategorical) Arity() int { return 0 }
+
+// Run implements Generator: a weighted draw for the primary value, then
+// distinct extra values by rejection.
+func (m *MultiCategorical) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
+	size := m.Min
+	if m.Max > m.Min {
+		size += int(s.Intn(id*3+1, int64(m.Max-m.Min+1)))
+	}
+	chosen := make([]int, 0, size)
+	seen := make(map[int]struct{}, size)
+	sub := s.DeriveStream("multi")
+	for draw := int64(0); len(chosen) < size; draw++ {
+		k := m.inner.dist.SampleU(sub.Float64(id*64 + draw))
+		if _, dup := seen[k]; dup {
+			if draw > int64(64*size) {
+				break // weights may make distinct draws improbable
+			}
+			continue
+		}
+		seen[k] = struct{}{}
+		chosen = append(chosen, k)
+	}
+	parts := make([]string, len(chosen))
+	for i, k := range chosen {
+		parts[i] = m.inner.values[k]
+	}
+	return StringValue(strings.Join(parts, m.Separator)), nil
+}
+
+// Primary extracts the primary (first) value of a rendered set; used
+// when a multi-valued property participates in correlation matching.
+func (m *MultiCategorical) Primary(rendered string) string {
+	if i := strings.Index(rendered, m.Separator); i >= 0 {
+		return rendered[:i]
+	}
+	return rendered
+}

@@ -1,0 +1,167 @@
+// Package pgen implements DataSynth's Property Generators (paper
+// Section 4.1). A Property Generator (PG) produces the value of one
+// property for one instance id:
+//
+//	run : (id, r(id), val_0, …, val_k) -> T
+//
+// where r(id) is the instance's deterministic random draw and val_j are
+// the values of the properties this one is conditioned on. Because run
+// depends only on (id, r(id), deps), any row can be regenerated
+// in-place on any worker — the Myriad technique the paper adopts — and
+// rows can be generated in parallel in any order.
+package pgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+// Value is one property value, tagged by kind. Dates use the Int field
+// (days since epoch).
+type Value struct {
+	Kind  table.ValueKind
+	Str   string
+	Int   int64
+	Float float64
+}
+
+// StringValue wraps a string.
+func StringValue(s string) Value { return Value{Kind: table.KindString, Str: s} }
+
+// IntValue wraps an int64.
+func IntValue(i int64) Value { return Value{Kind: table.KindInt, Int: i} }
+
+// FloatValue wraps a float64.
+func FloatValue(f float64) Value { return Value{Kind: table.KindFloat, Float: f} }
+
+// DateValue wraps a date (days since epoch).
+func DateValue(days int64) Value { return Value{Kind: table.KindDate, Int: days} }
+
+// Format renders the value as its CSV/DSL string form.
+func (v Value) Format() string {
+	switch v.Kind {
+	case table.KindString:
+		return v.Str
+	case table.KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case table.KindDate:
+		return table.FormatDate(v.Int)
+	default:
+		return strconv.FormatInt(v.Int, 10)
+	}
+}
+
+// Generator is the PG interface. Implementations must be pure: the
+// result may depend only on the inputs.
+type Generator interface {
+	// Name is the DSL identifier.
+	Name() string
+	// Kind is the value kind produced.
+	Kind() table.ValueKind
+	// Arity is the number of dependency values Run expects.
+	Arity() int
+	// Run produces the value of instance id. s is the property's
+	// dedicated stream (one per PT, as the paper requires); deps carries
+	// the values of depended-on properties for the same instance.
+	Run(id int64, s xrand.Stream, deps []Value) (Value, error)
+}
+
+// Factory builds a Generator from DSL parameters.
+type Factory func(params map[string]string) (Generator, error)
+
+// Registry maps generator names to factories; the engine and DSL
+// resolve schema.GeneratorSpec through it. It corresponds to the
+// paper's "pluggable objects that can be referenced from the DSL".
+type Registry struct {
+	factories map[string]Factory
+}
+
+// NewRegistry returns a registry preloaded with all built-in PGs.
+func NewRegistry() *Registry {
+	r := &Registry{factories: map[string]Factory{}}
+	registerBuiltins(r)
+	return r
+}
+
+// Register adds a factory; it fails on duplicates.
+func (r *Registry) Register(name string, f Factory) error {
+	if _, dup := r.factories[name]; dup {
+		return fmt.Errorf("pgen: generator %q already registered", name)
+	}
+	r.factories[name] = f
+	return nil
+}
+
+// Build resolves a generator spec.
+func (r *Registry) Build(name string, params map[string]string) (Generator, error) {
+	f, ok := r.factories[name]
+	if !ok {
+		return nil, fmt.Errorf("pgen: unknown generator %q (have: %s)", name, strings.Join(r.Names(), ", "))
+	}
+	return f(params)
+}
+
+// Names lists registered generators, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- parameter helpers used by factories ---
+
+func paramInt(params map[string]string, key string, def int64) (int64, error) {
+	v, ok := params[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pgen: parameter %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+func paramFloat(params map[string]string, key string, def float64) (float64, error) {
+	v, ok := params[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pgen: parameter %s=%q is not a number", key, v)
+	}
+	return f, nil
+}
+
+func paramDate(params map[string]string, key, def string) (int64, error) {
+	v, ok := params[key]
+	if !ok || v == "" {
+		v = def
+	}
+	return table.ParseDate(v)
+}
+
+// paramList splits a "|"-separated list parameter.
+func paramList(params map[string]string, key string) []string {
+	v, ok := params[key]
+	if !ok || v == "" {
+		return nil
+	}
+	parts := strings.Split(v, "|")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,453 @@
+package pgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+func s(seed uint64) xrand.Stream { return xrand.NewStream(seed) }
+
+func TestValueFormat(t *testing.T) {
+	if StringValue("x").Format() != "x" {
+		t.Error("string format")
+	}
+	if IntValue(42).Format() != "42" {
+		t.Error("int format")
+	}
+	if FloatValue(0.5).Format() != "0.5" {
+		t.Error("float format")
+	}
+	if DateValue(table.MustParseDate("2017-04-03")).Format() != "2017-04-03" {
+		t.Error("date format")
+	}
+}
+
+func TestCategoricalBasics(t *testing.T) {
+	c, err := NewCategorical([]string{"a", "b"}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := int64(0); i < 20000; i++ {
+		v, err := c.Run(i, s(1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v.Str]++
+	}
+	fa := float64(counts["a"]) / 20000
+	if math.Abs(fa-0.75) > 0.02 {
+		t.Errorf("P(a) = %v, want 0.75", fa)
+	}
+	if c.Kind() != table.KindString || c.Arity() != 0 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestCategoricalValidation(t *testing.T) {
+	if _, err := NewCategorical(nil, nil); err == nil {
+		t.Error("empty values should fail")
+	}
+	if _, err := NewCategorical([]string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("weight mismatch should fail")
+	}
+}
+
+func TestCategoricalUniformDefault(t *testing.T) {
+	c, err := NewCategorical([]string{"a", "b", "c", "d"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(c.Prob(i)-0.25) > 1e-12 {
+			t.Errorf("uniform prob %d = %v", i, c.Prob(i))
+		}
+	}
+}
+
+func TestZipfCategoricalShape(t *testing.T) {
+	c, err := NewZipfCategorical([]string{"top", "mid", "low"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Prob(0) <= c.Prob(1) || c.Prob(1) <= c.Prob(2) {
+		t.Error("zipf weights not decreasing")
+	}
+}
+
+func TestUniformIntBoundsInclusive(t *testing.T) {
+	u := &UniformInt{Lo: -2, Hi: 2}
+	seenLo, seenHi := false, false
+	for i := int64(0); i < 5000; i++ {
+		v, err := u.Run(i, s(2), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int < -2 || v.Int > 2 {
+			t.Fatalf("value %d out of range", v.Int)
+		}
+		if v.Int == -2 {
+			seenLo = true
+		}
+		if v.Int == 2 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Error("bounds never sampled")
+	}
+	bad := &UniformInt{Lo: 5, Hi: 1}
+	if _, err := bad.Run(0, s(1), nil); err == nil {
+		t.Error("empty range should fail")
+	}
+}
+
+func TestUniformFloat(t *testing.T) {
+	u := &UniformFloat{Lo: 10, Hi: 20}
+	for i := int64(0); i < 1000; i++ {
+		v, _ := u.Run(i, s(3), nil)
+		if v.Float < 10 || v.Float >= 20 {
+			t.Fatalf("value %v out of [10,20)", v.Float)
+		}
+	}
+	bad := &UniformFloat{Lo: 1, Hi: 1}
+	if _, err := bad.Run(0, s(1), nil); err == nil {
+		t.Error("empty range should fail")
+	}
+}
+
+func TestUniformDate(t *testing.T) {
+	from := table.MustParseDate("2015-01-01")
+	to := table.MustParseDate("2015-12-31")
+	u := &UniformDate{From: from, To: to}
+	for i := int64(0); i < 1000; i++ {
+		v, _ := u.Run(i, s(4), nil)
+		if v.Int < from || v.Int > to {
+			t.Fatalf("date %s outside 2015", v.Format())
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	n := &Normal{Mean: 5, Std: 2}
+	var sum, sumSq float64
+	N := int64(100000)
+	for i := int64(0); i < N; i++ {
+		v, _ := n.Run(i, s(5), nil)
+		sum += v.Float
+		sumSq += v.Float * v.Float
+	}
+	mean := sum / float64(N)
+	std := math.Sqrt(sumSq/float64(N) - mean*mean)
+	if math.Abs(mean-5) > 0.05 || math.Abs(std-2) > 0.05 {
+		t.Errorf("normal(5,2) measured (%v, %v)", mean, std)
+	}
+}
+
+func TestSequenceAndUUID(t *testing.T) {
+	q := &Sequence{Offset: 100}
+	v, _ := q.Run(5, s(1), nil)
+	if v.Int != 105 {
+		t.Errorf("sequence = %d", v.Int)
+	}
+	u := UUID{}
+	a, _ := u.Run(1, s(1), nil)
+	b, _ := u.Run(2, s(1), nil)
+	if len(a.Str) != 32 || a.Str == b.Str {
+		t.Errorf("uuid broken: %q %q", a.Str, b.Str)
+	}
+	a2, _ := u.Run(1, s(1), nil)
+	if a.Str != a2.Str {
+		t.Error("uuid not deterministic")
+	}
+}
+
+func TestTextGenerator(t *testing.T) {
+	g := &Text{MinWords: 2, MaxWords: 5}
+	for i := int64(0); i < 200; i++ {
+		v, err := g.Run(i, s(7), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := strings.Fields(v.Str)
+		if len(words) < 2 || len(words) > 5 {
+			t.Fatalf("text %q has %d words", v.Str, len(words))
+		}
+	}
+	bad := &Text{MinWords: 5, MaxWords: 2}
+	if _, err := bad.Run(0, s(1), nil); err == nil {
+		t.Error("bad bounds should fail")
+	}
+}
+
+func TestConditionalNameCorrelation(t *testing.T) {
+	c, err := NewConditionalName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arity() != 2 {
+		t.Errorf("arity = %d", c.Arity())
+	}
+	// Names must come from the (region, sex) list.
+	deps := []Value{StringValue("Japan"), StringValue("F")}
+	allowed := map[string]bool{}
+	for _, n := range NamesFor("Japan", "F") {
+		allowed[n] = true
+	}
+	for i := int64(0); i < 500; i++ {
+		v, err := c.Run(i, s(8), deps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !allowed[v.Str] {
+			t.Fatalf("name %q not in east-asia/F list", v.Str)
+		}
+	}
+	// Different (country, sex) must change the name pool.
+	depsM := []Value{StringValue("Brazil"), StringValue("M")}
+	vm, _ := c.Run(0, s(8), depsM)
+	if allowed[vm.Str] {
+		t.Errorf("Brazil/M name %q drawn from Japan/F pool", vm.Str)
+	}
+	if _, err := c.Run(0, s(8), nil); err == nil {
+		t.Error("missing deps should fail")
+	}
+}
+
+func TestConditionalNameUnknownCountryFallsBack(t *testing.T) {
+	c, _ := NewConditionalName("")
+	v, err := c.Run(0, s(9), []Value{StringValue("Atlantis"), StringValue("M")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Str == "" {
+		t.Error("fallback produced empty name")
+	}
+}
+
+func TestDictionaryLookup(t *testing.T) {
+	v, w, err := Dictionary("countries")
+	if err != nil || len(v) != len(w) || len(v) == 0 {
+		t.Fatalf("countries dictionary broken: %v", err)
+	}
+	if _, _, err := Dictionary("nope"); err == nil {
+		t.Error("unknown dictionary should fail")
+	}
+	for _, name := range []string{"topics", "sexes", "words"} {
+		vs, _, err := Dictionary(name)
+		if err != nil || len(vs) == 0 {
+			t.Errorf("dictionary %s broken", name)
+		}
+	}
+}
+
+func TestMaxEndpointDate(t *testing.T) {
+	m := &MaxEndpointDate{MaxLagDays: 30}
+	d1 := DateValue(1000)
+	d2 := DateValue(1500)
+	for i := int64(0); i < 500; i++ {
+		v, err := m.Run(i, s(10), []Value{d1, d2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int <= 1500 || v.Int > 1500+30 {
+			t.Fatalf("edge date %d not in (1500, 1530]", v.Int)
+		}
+	}
+	if _, err := m.Run(0, s(1), nil); err == nil {
+		t.Error("no deps should fail")
+	}
+}
+
+func TestEndpointCopy(t *testing.T) {
+	e := EndpointCopy{}
+	v, err := e.Run(0, s(1), []Value{StringValue("hello")})
+	if err != nil || v.Str != "hello" {
+		t.Errorf("copy = %v, %v", v, err)
+	}
+	if _, err := e.Run(0, s(1), nil); err == nil {
+		t.Error("arity violation should fail")
+	}
+}
+
+func TestRatingJShape(t *testing.T) {
+	r := &Rating{Lo: 1, Hi: 5}
+	counts := map[int64]int{}
+	N := 20000
+	for i := int64(0); i < int64(N); i++ {
+		v, err := r.Run(i, s(11), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int < 1 || v.Int > 5 {
+			t.Fatalf("rating %d out of range", v.Int)
+		}
+		counts[v.Int]++
+	}
+	if counts[5] < counts[3] || counts[1] < counts[3] {
+		t.Errorf("not J-shaped: %v", counts)
+	}
+	bad := &Rating{Lo: 5, Hi: 5}
+	if _, err := bad.Run(0, s(1), nil); err == nil {
+		t.Error("empty range should fail")
+	}
+}
+
+func TestRegistryBuildAll(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		name   string
+		params map[string]string
+	}{
+		{"categorical", map[string]string{"values": "a|b|c"}},
+		{"categorical", map[string]string{"dict": "countries"}},
+		{"categorical", map[string]string{"values": "a|b", "weights": "1|3"}},
+		{"zipf", map[string]string{"values": "x|y|z", "theta": "1.2"}},
+		{"zipf", map[string]string{"dict": "topics"}},
+		{"uniform-int", map[string]string{"lo": "1", "hi": "10"}},
+		{"uniform-float", map[string]string{"lo": "0", "hi": "2"}},
+		{"uniform-date", map[string]string{"from": "2010-01-01", "to": "2011-01-01"}},
+		{"normal", map[string]string{"mean": "5", "std": "2"}},
+		{"sequence", map[string]string{"offset": "7"}},
+		{"uuid", nil},
+		{"constant", map[string]string{"value": "fixed"}},
+		{"text", map[string]string{"min": "1", "max": "3"}},
+		{"dictionary", nil},
+		{"max-endpoint-date", map[string]string{"maxDays": "10"}},
+		{"endpoint-copy", nil},
+		{"rating", map[string]string{"lo": "1", "hi": "5"}},
+	}
+	for _, c := range cases {
+		g, err := r.Build(c.name, c.params)
+		if err != nil {
+			t.Errorf("Build(%s): %v", c.name, err)
+			continue
+		}
+		if g.Name() == "" {
+			t.Errorf("%s has empty name", c.name)
+		}
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Build("nope", nil); err == nil {
+		t.Error("unknown generator should fail")
+	}
+	if _, err := r.Build("categorical", nil); err == nil {
+		t.Error("categorical without values should fail")
+	}
+	if _, err := r.Build("uniform-int", map[string]string{"lo": "x"}); err == nil {
+		t.Error("bad int param should fail")
+	}
+	if _, err := r.Build("uniform-date", map[string]string{"from": "junk"}); err == nil {
+		t.Error("bad date param should fail")
+	}
+	if _, err := r.Build("constant", nil); err == nil {
+		t.Error("constant without value should fail")
+	}
+	if _, err := r.Build("categorical", map[string]string{"values": "a|b", "weights": "1|x"}); err == nil {
+		t.Error("bad weight should fail")
+	}
+	if err := r.Register("categorical", nil); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if err := r.Register("custom", func(map[string]string) (Generator, error) { return UUID{}, nil }); err != nil {
+		t.Errorf("custom registration failed: %v", err)
+	}
+	if len(r.Names()) == 0 {
+		t.Error("Names empty")
+	}
+}
+
+func TestInPlaceRegeneration(t *testing.T) {
+	// The Myriad invariant: regenerating any single id yields the same
+	// value as generating the whole table.
+	r := NewRegistry()
+	g, err := r.Build("categorical", map[string]string{"dict": "countries"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := xrand.NewStream(99).DeriveStream("Person.country")
+	full := make([]string, 1000)
+	for i := int64(0); i < 1000; i++ {
+		v, _ := g.Run(i, stream, nil)
+		full[i] = v.Str
+	}
+	// Regenerate ids out of order, as a different worker would.
+	for _, i := range []int64{999, 0, 500, 123, 77} {
+		v, _ := g.Run(i, stream, nil)
+		if v.Str != full[i] {
+			t.Fatalf("in-place regeneration of id %d mismatches", i)
+		}
+	}
+}
+
+func TestMultiCategorical(t *testing.T) {
+	m, err := NewMultiCategorical([]string{"a", "b", "c", "d"}, nil, 2, 3, ";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 500; i++ {
+		v, err := m.Run(i, s(5), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := strings.Split(v.Str, ";")
+		if len(parts) < 2 || len(parts) > 3 {
+			t.Fatalf("set %q has %d values", v.Str, len(parts))
+		}
+		seen := map[string]bool{}
+		for _, p := range parts {
+			if seen[p] {
+				t.Fatalf("set %q repeats %q", v.Str, p)
+			}
+			seen[p] = true
+		}
+	}
+	if m.Primary("x;y;z") != "x" || m.Primary("solo") != "solo" {
+		t.Error("Primary extraction broken")
+	}
+}
+
+func TestMultiCategoricalValidation(t *testing.T) {
+	if _, err := NewMultiCategorical([]string{"a"}, nil, 0, 1, ""); err == nil {
+		t.Error("min=0 should fail")
+	}
+	if _, err := NewMultiCategorical([]string{"a"}, nil, 1, 5, ""); err == nil {
+		t.Error("max beyond universe should fail")
+	}
+	if _, err := NewMultiCategorical(nil, nil, 1, 1, ""); err == nil {
+		t.Error("no values should fail")
+	}
+}
+
+func TestMultiCategoricalDeterministic(t *testing.T) {
+	m, _ := NewMultiCategorical([]string{"a", "b", "c"}, []float64{5, 3, 1}, 1, 3, ",")
+	for i := int64(0); i < 100; i++ {
+		v1, _ := m.Run(i, s(9), nil)
+		v2, _ := m.Run(i, s(9), nil)
+		if v1.Str != v2.Str {
+			t.Fatal("multi-categorical not deterministic")
+		}
+	}
+}
+
+func TestMultiCategoricalViaRegistry(t *testing.T) {
+	r := NewRegistry()
+	g, err := r.Build("multi-categorical", map[string]string{"dict": "topics", "min": "1", "max": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := g.Run(0, s(1), nil)
+	if err != nil || v.Str == "" {
+		t.Errorf("registry multi-categorical: %v %q", err, v.Str)
+	}
+	if _, err := r.Build("multi-categorical", map[string]string{"values": "a|b", "max": "9"}); err == nil {
+		t.Error("oversized set should fail")
+	}
+}

@@ -1,0 +1,236 @@
+package sgen
+
+import (
+	"fmt"
+	"math"
+
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+// This file implements the bipartite structure generators needed for
+// edge types between two different node types, such as the running
+// example's `creates` (Person 1→* Message). The paper's cardinality
+// requirement distinguishes 1→1, 1→* and *→* edges; each maps to a
+// generator here.
+
+// PowerLawOut generates a 1→* edge type: each tail node t gets
+// out-degree drawn from a truncated power law, and each edge points to
+// a *fresh* head node — exactly the `creates` pattern, where every
+// Message is created by exactly one Person. The head-domain size is
+// therefore the edge count, which is how DataSynth's dependency
+// analysis infers the number of Messages (paper Section 4.2).
+type PowerLawOut struct {
+	MinOut, MaxOut int
+	Gamma          float64
+	Seed           uint64
+}
+
+// NewPowerLawOut returns a 1→* generator with out-degrees in
+// [minOut, maxOut] following P(d) ∝ d^-gamma.
+func NewPowerLawOut(minOut, maxOut int, gamma float64, seed uint64) *PowerLawOut {
+	return &PowerLawOut{MinOut: minOut, MaxOut: maxOut, Gamma: gamma, Seed: seed}
+}
+
+// Name implements BipartiteGenerator.
+func (g *PowerLawOut) Name() string { return "powerlaw-out" }
+
+// RunBipartite implements BipartiteGenerator. nHead is ignored (the
+// generator mints one head per edge).
+func (g *PowerLawOut) RunBipartite(nTail, nHead int64) (*table.EdgeTable, error) {
+	if nTail <= 0 {
+		return nil, fmt.Errorf("sgen: powerlaw-out needs nTail > 0, got %d", nTail)
+	}
+	dist, err := xrand.NewPowerLawInt(max(1, g.MinOut), g.MaxOut, g.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	s := xrand.NewStream(g.Seed)
+	et := table.NewEdgeTable("powerlaw-out", nTail*int64(dist.Mean()))
+	var head int64
+	for t := int64(0); t < nTail; t++ {
+		d := dist.Sample(s, t)
+		if g.MinOut <= 0 {
+			// Allow zero out-degree by shifting: sample in [1,max] then
+			// subtract the shift probabilistically — approximated by
+			// letting MinOut=0 mean "d-1".
+			d--
+		}
+		for j := 0; j < d; j++ {
+			et.Add(t, head)
+			head++
+		}
+	}
+	return et, nil
+}
+
+// NumTailsForEdges implements BipartiteGenerator.
+func (g *PowerLawOut) NumTailsForEdges(numEdges int64) (int64, error) {
+	dist, err := xrand.NewPowerLawInt(max(1, g.MinOut), g.MaxOut, g.Gamma)
+	if err != nil {
+		return 0, err
+	}
+	mean := dist.Mean()
+	if g.MinOut <= 0 {
+		mean--
+	}
+	if mean <= 0 {
+		return 0, fmt.Errorf("sgen: powerlaw-out mean out-degree is zero")
+	}
+	return searchNodesForEdges(numEdges, func(n int64) float64 {
+		return float64(n) * mean
+	})
+}
+
+// ZipfAttachment generates a *→* bipartite edge type between two fixed
+// domains: each tail draws out-degree from a power law and attaches to
+// head nodes with Zipf-distributed popularity — the classic
+// user–product interaction shape (few blockbuster products).
+type ZipfAttachment struct {
+	MinOut, MaxOut int
+	GammaOut       float64 // tail out-degree exponent
+	ThetaIn        float64 // head popularity Zipf exponent
+	Seed           uint64
+}
+
+// NewZipfAttachment returns a *→* generator.
+func NewZipfAttachment(minOut, maxOut int, gammaOut, thetaIn float64, seed uint64) *ZipfAttachment {
+	return &ZipfAttachment{MinOut: minOut, MaxOut: maxOut, GammaOut: gammaOut, ThetaIn: thetaIn, Seed: seed}
+}
+
+// Name implements BipartiteGenerator.
+func (g *ZipfAttachment) Name() string { return "zipf-attachment" }
+
+// RunBipartite implements BipartiteGenerator. nHead must be positive.
+func (g *ZipfAttachment) RunBipartite(nTail, nHead int64) (*table.EdgeTable, error) {
+	if nTail <= 0 || nHead <= 0 {
+		return nil, fmt.Errorf("sgen: zipf-attachment needs positive domains, got %d/%d", nTail, nHead)
+	}
+	outDist, err := xrand.NewPowerLawInt(max(1, g.MinOut), g.MaxOut, g.GammaOut)
+	if err != nil {
+		return nil, err
+	}
+	// Zipf over head popularity; cap the support to keep init cheap.
+	support := nHead
+	if support > 1<<20 {
+		support = 1 << 20
+	}
+	zipf, err := xrand.NewZipf(int(support), g.ThetaIn)
+	if err != nil {
+		return nil, err
+	}
+	sOut := xrand.NewStream(g.Seed).DeriveStream("out")
+	sHead := xrand.NewStream(g.Seed).DeriveStream("head")
+	sPerm := xrand.NewStream(g.Seed).DeriveStream("perm")
+	et := table.NewEdgeTable("zipf-attachment", nTail*int64(outDist.Mean()))
+	var idx int64
+	for t := int64(0); t < nTail; t++ {
+		d := outDist.Sample(sOut, t)
+		seen := make(map[int64]struct{}, d)
+		for j := 0; j < d; j++ {
+			// Popularity rank -> head id through a fixed pseudo-random
+			// permutation so rank-0 isn't always head 0.
+			rank := int64(zipf.Sample(sHead, idx))
+			idx++
+			h := sPerm.Perm(rank%nHead, nHead)
+			if _, dup := seen[h]; dup {
+				continue
+			}
+			seen[h] = struct{}{}
+			et.Add(t, h)
+		}
+	}
+	return et, nil
+}
+
+// NumTailsForEdges implements BipartiteGenerator.
+func (g *ZipfAttachment) NumTailsForEdges(numEdges int64) (int64, error) {
+	outDist, err := xrand.NewPowerLawInt(max(1, g.MinOut), g.MaxOut, g.GammaOut)
+	if err != nil {
+		return 0, err
+	}
+	return searchNodesForEdges(numEdges, func(n int64) float64 {
+		return float64(n) * outDist.Mean()
+	})
+}
+
+// OneToOne generates a 1→1 edge type: a pseudo-random perfect matching
+// between equal-sized domains.
+type OneToOne struct {
+	Seed uint64
+}
+
+// Name implements BipartiteGenerator.
+func (g *OneToOne) Name() string { return "one-to-one" }
+
+// RunBipartite implements BipartiteGenerator; nHead < 0 means
+// nHead = nTail.
+func (g *OneToOne) RunBipartite(nTail, nHead int64) (*table.EdgeTable, error) {
+	if nTail <= 0 {
+		return nil, fmt.Errorf("sgen: one-to-one needs nTail > 0, got %d", nTail)
+	}
+	if nHead < 0 {
+		nHead = nTail
+	}
+	if nHead != nTail {
+		return nil, fmt.Errorf("sgen: one-to-one needs equal domains, got %d/%d", nTail, nHead)
+	}
+	s := xrand.NewStream(g.Seed)
+	et := table.NewEdgeTable("one-to-one", nTail)
+	for t := int64(0); t < nTail; t++ {
+		et.Add(t, s.Perm(t, nTail))
+	}
+	return et, nil
+}
+
+// NumTailsForEdges implements BipartiteGenerator: one edge per tail.
+func (g *OneToOne) NumTailsForEdges(numEdges int64) (int64, error) {
+	if numEdges <= 0 {
+		return 0, fmt.Errorf("sgen: numEdges must be positive")
+	}
+	return numEdges, nil
+}
+
+// UniformBipartite generates a *→* edge type with a fixed expected
+// out-degree and uniformly chosen heads (a bipartite Erdős–Rényi).
+type UniformBipartite struct {
+	AvgOut float64
+	Seed   uint64
+}
+
+// Name implements BipartiteGenerator.
+func (g *UniformBipartite) Name() string { return "uniform-bipartite" }
+
+// RunBipartite implements BipartiteGenerator.
+func (g *UniformBipartite) RunBipartite(nTail, nHead int64) (*table.EdgeTable, error) {
+	if nTail <= 0 || nHead <= 0 {
+		return nil, fmt.Errorf("sgen: uniform-bipartite needs positive domains")
+	}
+	if g.AvgOut <= 0 {
+		return nil, fmt.Errorf("sgen: uniform-bipartite needs positive average out-degree")
+	}
+	m := int64(math.Round(float64(nTail) * g.AvgOut))
+	s := xrand.NewStream(g.Seed)
+	et := table.NewEdgeTable("uniform-bipartite", m)
+	for e := int64(0); e < m; e++ {
+		et.Add(s.Intn(2*e, nTail), s.Intn(2*e+1, nHead))
+	}
+	return et, nil
+}
+
+// NumTailsForEdges implements BipartiteGenerator.
+func (g *UniformBipartite) NumTailsForEdges(numEdges int64) (int64, error) {
+	if g.AvgOut <= 0 {
+		return 0, fmt.Errorf("sgen: uniform-bipartite needs positive average out-degree")
+	}
+	return searchNodesForEdges(numEdges, func(n int64) float64 {
+		return float64(n) * g.AvgOut
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,224 @@
+package sgen
+
+import (
+	"testing"
+)
+
+func TestPowerLawOutFreshHeads(t *testing.T) {
+	g := NewPowerLawOut(1, 10, 2.0, 7)
+	et, err := g.RunBipartite(500, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every head id must be unique and dense [0, m) — one Message per
+	// creates edge.
+	seen := make(map[int64]bool, et.Len())
+	var maxHead int64 = -1
+	for i := int64(0); i < et.Len(); i++ {
+		h := et.Head[i]
+		if seen[h] {
+			t.Fatalf("head %d repeated", h)
+		}
+		seen[h] = true
+		if h > maxHead {
+			maxHead = h
+		}
+	}
+	if maxHead+1 != et.Len() {
+		t.Errorf("heads not dense: max %d, edges %d", maxHead, et.Len())
+	}
+	if et.MaxNode() < et.Len() {
+		t.Errorf("MaxNode = %d", et.MaxNode())
+	}
+}
+
+func TestPowerLawOutEveryTailHasEdges(t *testing.T) {
+	g := NewPowerLawOut(1, 5, 2.0, 3)
+	et, err := g.RunBipartite(200, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDeg := make(map[int64]int)
+	for i := int64(0); i < et.Len(); i++ {
+		outDeg[et.Tail[i]]++
+	}
+	for tail := int64(0); tail < 200; tail++ {
+		d := outDeg[tail]
+		if d < 1 || d > 5 {
+			t.Fatalf("tail %d has out-degree %d outside [1,5]", tail, d)
+		}
+	}
+}
+
+func TestPowerLawOutDeterministic(t *testing.T) {
+	a, _ := NewPowerLawOut(1, 8, 1.5, 4).RunBipartite(100, -1)
+	b, _ := NewPowerLawOut(1, 8, 1.5, 4).RunBipartite(100, -1)
+	if a.Len() != b.Len() {
+		t.Fatal("non-deterministic length")
+	}
+	for i := int64(0); i < a.Len(); i++ {
+		if a.Tail[i] != b.Tail[i] || a.Head[i] != b.Head[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestPowerLawOutNumTails(t *testing.T) {
+	g := NewPowerLawOut(2, 2, 1.0, 9) // exactly 2 per tail
+	n, err := g.NumTailsForEdges(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Errorf("NumTailsForEdges = %d, want 500", n)
+	}
+	et, err := g.RunBipartite(n, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.Len() != 1000 {
+		t.Errorf("edges = %d, want 1000", et.Len())
+	}
+}
+
+func TestPowerLawOutValidation(t *testing.T) {
+	if _, err := NewPowerLawOut(1, 5, 2, 1).RunBipartite(0, -1); err == nil {
+		t.Error("nTail=0 should fail")
+	}
+	if _, err := NewPowerLawOut(5, 2, 2, 1).RunBipartite(10, -1); err == nil {
+		t.Error("min>max should fail")
+	}
+}
+
+func TestZipfAttachmentRanges(t *testing.T) {
+	g := NewZipfAttachment(1, 10, 2.0, 1.0, 5)
+	et, err := g.RunBipartite(400, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := et.Validate(400, 100); err != nil {
+		t.Fatal(err)
+	}
+	if et.Len() == 0 {
+		t.Fatal("no edges")
+	}
+}
+
+func TestZipfAttachmentSkewedPopularity(t *testing.T) {
+	g := NewZipfAttachment(3, 10, 2.0, 1.2, 5)
+	et, err := g.RunBipartite(2000, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDeg := make([]int64, 200)
+	for i := int64(0); i < et.Len(); i++ {
+		inDeg[et.Head[i]]++
+	}
+	var maxIn, sum int64
+	for _, d := range inDeg {
+		if d > maxIn {
+			maxIn = d
+		}
+		sum += d
+	}
+	avg := float64(sum) / 200
+	if float64(maxIn) < 3*avg {
+		t.Errorf("max in-degree %d vs avg %.1f: popularity not skewed", maxIn, avg)
+	}
+}
+
+func TestZipfAttachmentNoDuplicatePerTail(t *testing.T) {
+	g := NewZipfAttachment(5, 8, 2.0, 1.0, 5)
+	et, err := g.RunBipartite(50, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ t, h int64 }
+	seen := map[pair]bool{}
+	for i := int64(0); i < et.Len(); i++ {
+		p := pair{et.Tail[i], et.Head[i]}
+		if seen[p] {
+			t.Fatalf("duplicate edge %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestZipfAttachmentValidation(t *testing.T) {
+	if _, err := NewZipfAttachment(1, 5, 2, 1, 1).RunBipartite(0, 10); err == nil {
+		t.Error("nTail=0 should fail")
+	}
+	if _, err := NewZipfAttachment(1, 5, 2, 1, 1).RunBipartite(10, 0); err == nil {
+		t.Error("nHead=0 should fail")
+	}
+}
+
+func TestOneToOnePerfectMatching(t *testing.T) {
+	g := &OneToOne{Seed: 3}
+	et, err := g.RunBipartite(100, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.Len() != 100 {
+		t.Fatalf("edges = %d, want 100", et.Len())
+	}
+	seenT, seenH := map[int64]bool{}, map[int64]bool{}
+	for i := int64(0); i < 100; i++ {
+		if seenT[et.Tail[i]] || seenH[et.Head[i]] {
+			t.Fatalf("edge %d reuses an endpoint", i)
+		}
+		seenT[et.Tail[i]] = true
+		seenH[et.Head[i]] = true
+	}
+}
+
+func TestOneToOneMismatchedDomains(t *testing.T) {
+	g := &OneToOne{Seed: 3}
+	if _, err := g.RunBipartite(10, 20); err == nil {
+		t.Error("unequal domains should fail")
+	}
+	if n, err := g.NumTailsForEdges(50); err != nil || n != 50 {
+		t.Errorf("NumTailsForEdges = %d, %v", n, err)
+	}
+}
+
+func TestUniformBipartite(t *testing.T) {
+	g := &UniformBipartite{AvgOut: 3, Seed: 9}
+	et, err := g.RunBipartite(100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.Len() != 300 {
+		t.Errorf("edges = %d, want 300", et.Len())
+	}
+	if err := et.Validate(100, 50); err != nil {
+		t.Fatal(err)
+	}
+	n, err := g.NumTailsForEdges(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Errorf("NumTailsForEdges = %d, want 1000", n)
+	}
+}
+
+func TestUniformBipartiteValidation(t *testing.T) {
+	g := &UniformBipartite{AvgOut: 0, Seed: 1}
+	if _, err := g.RunBipartite(10, 10); err == nil {
+		t.Error("AvgOut=0 should fail")
+	}
+}
+
+func TestSearchNodesForEdgesMonotone(t *testing.T) {
+	n, err := searchNodesForEdges(1000, func(n int64) float64 { return float64(n) * 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Errorf("inverse of 2n at 1000 = %d, want 500", n)
+	}
+	if _, err := searchNodesForEdges(0, func(n int64) float64 { return float64(n) }); err == nil {
+		t.Error("numEdges=0 should fail")
+	}
+}

@@ -1,0 +1,306 @@
+package sgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"datasynth/internal/cascade"
+)
+
+// Registry resolves DSL structure-generator specs into concrete
+// generators, mirroring pgen.Registry. Monopartite and bipartite
+// generators live in separate namespaces because edge cardinality
+// decides which is legal.
+type Registry struct {
+	mono map[string]MonoFactory
+	bip  map[string]BipFactory
+}
+
+// MonoFactory builds a monopartite generator.
+type MonoFactory func(params map[string]string, seed uint64) (Generator, error)
+
+// BipFactory builds a bipartite generator.
+type BipFactory func(params map[string]string, seed uint64) (BipartiteGenerator, error)
+
+// NewRegistry returns a registry with every built-in SG.
+func NewRegistry() *Registry {
+	r := &Registry{mono: map[string]MonoFactory{}, bip: map[string]BipFactory{}}
+	registerBuiltinSGs(r)
+	return r
+}
+
+// RegisterMono adds a monopartite factory.
+func (r *Registry) RegisterMono(name string, f MonoFactory) error {
+	if _, dup := r.mono[name]; dup {
+		return fmt.Errorf("sgen: generator %q already registered", name)
+	}
+	r.mono[name] = f
+	return nil
+}
+
+// RegisterBipartite adds a bipartite factory.
+func (r *Registry) RegisterBipartite(name string, f BipFactory) error {
+	if _, dup := r.bip[name]; dup {
+		return fmt.Errorf("sgen: bipartite generator %q already registered", name)
+	}
+	r.bip[name] = f
+	return nil
+}
+
+// HasMono reports whether name is a monopartite generator.
+func (r *Registry) HasMono(name string) bool { _, ok := r.mono[name]; return ok }
+
+// HasBipartite reports whether name is a bipartite generator.
+func (r *Registry) HasBipartite(name string) bool { _, ok := r.bip[name]; return ok }
+
+// BuildMono resolves a monopartite generator spec.
+func (r *Registry) BuildMono(name string, params map[string]string, seed uint64) (Generator, error) {
+	f, ok := r.mono[name]
+	if !ok {
+		return nil, fmt.Errorf("sgen: unknown structure generator %q (have: %v)", name, r.MonoNames())
+	}
+	return f(params, seed)
+}
+
+// BuildBipartite resolves a bipartite generator spec.
+func (r *Registry) BuildBipartite(name string, params map[string]string, seed uint64) (BipartiteGenerator, error) {
+	f, ok := r.bip[name]
+	if !ok {
+		return nil, fmt.Errorf("sgen: unknown bipartite structure generator %q (have: %v)", name, r.BipartiteNames())
+	}
+	return f(params, seed)
+}
+
+// MonoNames lists monopartite generators, sorted.
+func (r *Registry) MonoNames() []string {
+	out := make([]string, 0, len(r.mono))
+	for n := range r.mono {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BipartiteNames lists bipartite generators, sorted.
+func (r *Registry) BipartiteNames() []string {
+	out := make([]string, 0, len(r.bip))
+	for n := range r.bip {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sgParamFloat(p map[string]string, key string, def float64) (float64, error) {
+	v, ok := p[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sgen: parameter %s=%q is not a number", key, v)
+	}
+	return f, nil
+}
+
+func sgParamInt(p map[string]string, key string, def int64) (int64, error) {
+	v, ok := p[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sgen: parameter %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+func registerBuiltinSGs(r *Registry) {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(r.RegisterMono("rmat", func(p map[string]string, seed uint64) (Generator, error) {
+		g := NewRMAT(seed)
+		var err error
+		if g.A, err = sgParamFloat(p, "a", g.A); err != nil {
+			return nil, err
+		}
+		if g.B, err = sgParamFloat(p, "b", g.B); err != nil {
+			return nil, err
+		}
+		if g.C, err = sgParamFloat(p, "c", g.C); err != nil {
+			return nil, err
+		}
+		if g.D, err = sgParamFloat(p, "d", g.D); err != nil {
+			return nil, err
+		}
+		if g.EdgeFactor, err = sgParamInt(p, "edgeFactor", g.EdgeFactor); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}))
+	must(r.RegisterMono("lfr", func(p map[string]string, seed uint64) (Generator, error) {
+		g := NewLFR(seed)
+		var err error
+		if g.AvgDegree, err = sgParamFloat(p, "avgDegree", g.AvgDegree); err != nil {
+			return nil, err
+		}
+		var iv int64
+		if iv, err = sgParamInt(p, "maxDegree", int64(g.MaxDegree)); err != nil {
+			return nil, err
+		}
+		g.MaxDegree = int(iv)
+		if iv, err = sgParamInt(p, "minCommunity", int64(g.MinCommunity)); err != nil {
+			return nil, err
+		}
+		g.MinCommunity = int(iv)
+		if iv, err = sgParamInt(p, "maxCommunity", int64(g.MaxCommunity)); err != nil {
+			return nil, err
+		}
+		g.MaxCommunity = int(iv)
+		if g.Mu, err = sgParamFloat(p, "mu", g.Mu); err != nil {
+			return nil, err
+		}
+		if g.Tau1, err = sgParamFloat(p, "tau1", g.Tau1); err != nil {
+			return nil, err
+		}
+		if g.Tau2, err = sgParamFloat(p, "tau2", g.Tau2); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}))
+	must(r.RegisterMono("bter", func(p map[string]string, seed uint64) (Generator, error) {
+		dmin, err := sgParamInt(p, "dmin", 2)
+		if err != nil {
+			return nil, err
+		}
+		dmax, err := sgParamInt(p, "dmax", 50)
+		if err != nil {
+			return nil, err
+		}
+		gamma, err := sgParamFloat(p, "gamma", 2.0)
+		if err != nil {
+			return nil, err
+		}
+		// The degree histogram is rescaled to the Run(n) size, so the
+		// reference population just needs to be large enough for
+		// resolution.
+		return NewBTERPowerLaw(1<<20, int(dmin), int(dmax), gamma, seed)
+	}))
+	must(r.RegisterMono("darwini", func(p map[string]string, seed uint64) (Generator, error) {
+		dmin, err := sgParamInt(p, "dmin", 2)
+		if err != nil {
+			return nil, err
+		}
+		dmax, err := sgParamInt(p, "dmax", 50)
+		if err != nil {
+			return nil, err
+		}
+		gamma, err := sgParamFloat(p, "gamma", 2.0)
+		if err != nil {
+			return nil, err
+		}
+		spread, err := sgParamFloat(p, "spread", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		g, err := NewDarwiniPowerLaw(1<<20, int(dmin), int(dmax), gamma, seed)
+		if err != nil {
+			return nil, err
+		}
+		g.CCSpread = spread
+		return g, nil
+	}))
+	must(r.RegisterMono("cascade", func(p map[string]string, seed uint64) (Generator, error) {
+		g := cascade.NewGenerator(seed)
+		var err error
+		var iv int64
+		if iv, err = sgParamInt(p, "minSize", int64(g.TreeSizeMin)); err != nil {
+			return nil, err
+		}
+		g.TreeSizeMin = int(iv)
+		if iv, err = sgParamInt(p, "maxSize", int64(g.TreeSizeMax)); err != nil {
+			return nil, err
+		}
+		g.TreeSizeMax = int(iv)
+		if g.Gamma, err = sgParamFloat(p, "gamma", g.Gamma); err != nil {
+			return nil, err
+		}
+		if g.PreferRecent, err = sgParamFloat(p, "preferRecent", g.PreferRecent); err != nil {
+			return nil, err
+		}
+		return &cascade.SG{Gen: g}, nil
+	}))
+	must(r.RegisterMono("erdos-renyi", func(p map[string]string, seed uint64) (Generator, error) {
+		epn, err := sgParamFloat(p, "edgesPerNode", 8)
+		if err != nil {
+			return nil, err
+		}
+		return NewErdosRenyi(epn, seed), nil
+	}))
+	must(r.RegisterMono("barabasi-albert", func(p map[string]string, seed uint64) (Generator, error) {
+		m, err := sgParamInt(p, "m", 4)
+		if err != nil {
+			return nil, err
+		}
+		return NewBarabasiAlbert(int(m), seed), nil
+	}))
+	must(r.RegisterMono("watts-strogatz", func(p map[string]string, seed uint64) (Generator, error) {
+		k, err := sgParamInt(p, "k", 4)
+		if err != nil {
+			return nil, err
+		}
+		beta, err := sgParamFloat(p, "beta", 0.1)
+		if err != nil {
+			return nil, err
+		}
+		return NewWattsStrogatz(int(k), beta, seed), nil
+	}))
+	must(r.RegisterBipartite("powerlaw-out", func(p map[string]string, seed uint64) (BipartiteGenerator, error) {
+		lo, err := sgParamInt(p, "min", 1)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := sgParamInt(p, "max", 20)
+		if err != nil {
+			return nil, err
+		}
+		gamma, err := sgParamFloat(p, "gamma", 2.0)
+		if err != nil {
+			return nil, err
+		}
+		return NewPowerLawOut(int(lo), int(hi), gamma, seed), nil
+	}))
+	must(r.RegisterBipartite("zipf-attachment", func(p map[string]string, seed uint64) (BipartiteGenerator, error) {
+		lo, err := sgParamInt(p, "min", 1)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := sgParamInt(p, "max", 20)
+		if err != nil {
+			return nil, err
+		}
+		gamma, err := sgParamFloat(p, "gamma", 2.0)
+		if err != nil {
+			return nil, err
+		}
+		theta, err := sgParamFloat(p, "theta", 1.0)
+		if err != nil {
+			return nil, err
+		}
+		return NewZipfAttachment(int(lo), int(hi), gamma, theta, seed), nil
+	}))
+	must(r.RegisterBipartite("one-to-one", func(p map[string]string, seed uint64) (BipartiteGenerator, error) {
+		return &OneToOne{Seed: seed}, nil
+	}))
+	must(r.RegisterBipartite("uniform-bipartite", func(p map[string]string, seed uint64) (BipartiteGenerator, error) {
+		avg, err := sgParamFloat(p, "avgOut", 3)
+		if err != nil {
+			return nil, err
+		}
+		return &UniformBipartite{AvgOut: avg, Seed: seed}, nil
+	}))
+}

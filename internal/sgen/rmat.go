@@ -1,0 +1,161 @@
+package sgen
+
+import (
+	"fmt"
+
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+// RMAT is the recursive-matrix generator of Chakrabarti, Zhan and
+// Faloutsos (SDM'04), the generator behind Graph500 and one of the two
+// used in the paper's evaluation ("we have used the default
+// parameters"). Each edge picks one of the four adjacency-matrix
+// quadrants with probabilities (A, B, C, D) at each of `scale`
+// recursion levels.
+//
+// Defaults follow Graph500: (A,B,C,D) = (0.57, 0.19, 0.19, 0.05) and
+// edgefactor 16, so a scale-s graph has n = 2^s nodes and m = 16·n
+// edges before deduplication.
+type RMAT struct {
+	A, B, C, D float64
+	EdgeFactor int64
+	Seed       uint64
+	// Noise perturbs the quadrant probabilities per level (SSCA-style
+	// smoothing) to avoid degenerate staircase effects; 0 disables it.
+	Noise float64
+	// KeepDuplicates keeps parallel edges and self-loops as generated.
+	// Graph500 keeps them; the paper's matching experiments are
+	// insensitive to them. Default false removes exact duplicates.
+	KeepDuplicates bool
+}
+
+// NewRMAT returns an RMAT generator with Graph500 default parameters.
+func NewRMAT(seed uint64) *RMAT {
+	return &RMAT{A: 0.57, B: 0.19, C: 0.19, D: 0.05, EdgeFactor: 16, Seed: seed}
+}
+
+// Name implements Generator.
+func (r *RMAT) Name() string { return "rmat" }
+
+// validate checks the quadrant probabilities.
+func (r *RMAT) validate() error {
+	sum := r.A + r.B + r.C + r.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("sgen: RMAT probabilities sum to %v, want 1", sum)
+	}
+	for _, p := range []float64{r.A, r.B, r.C, r.D} {
+		if p < 0 {
+			return fmt.Errorf("sgen: RMAT probabilities must be non-negative")
+		}
+	}
+	if r.EdgeFactor <= 0 {
+		return fmt.Errorf("sgen: RMAT edge factor must be positive, got %d", r.EdgeFactor)
+	}
+	return nil
+}
+
+// scaleFor returns the smallest scale s with 2^s >= n.
+func scaleFor(n int64) uint {
+	s := uint(0)
+	for int64(1)<<s < n {
+		s++
+	}
+	return s
+}
+
+// Run implements Generator. n is rounded up to the next power of two
+// internally (ids stay < n; edges landing outside [0,n) are re-drawn by
+// cycle walking), so callers may pass any positive n.
+func (r *RMAT) Run(n int64) (*table.EdgeTable, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sgen: RMAT needs n > 0, got %d", n)
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	scale := scaleFor(n)
+	m := r.EdgeFactor * n
+	et := table.NewEdgeTable("rmat", m)
+	s := xrand.NewStream(r.Seed)
+	var seen map[uint64]struct{}
+	if !r.KeepDuplicates {
+		seen = make(map[uint64]struct{}, m)
+	}
+	var idx int64
+	for et.Len() < m {
+		t, h := r.drawEdge(s, idx, scale)
+		idx++
+		if idx > 100*m && et.Len() == 0 {
+			return nil, fmt.Errorf("sgen: RMAT failed to generate edges")
+		}
+		if t >= n || h >= n {
+			continue // cycle-walk for non-power-of-two n
+		}
+		if !r.KeepDuplicates {
+			if t == h {
+				continue
+			}
+			a, b := t, h
+			if a > b {
+				a, b = b, a
+			}
+			key := uint64(a)<<32 | uint64(b)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+		}
+		et.Add(t, h)
+	}
+	return et, nil
+}
+
+// drawEdge recursively selects the quadrant for draw idx.
+func (r *RMAT) drawEdge(s xrand.Stream, idx int64, scale uint) (int64, int64) {
+	var t, h int64
+	a, b, c := r.A, r.B, r.C
+	for level := uint(0); level < scale; level++ {
+		// One uniform per level, decorrelated by level.
+		u := s.Float64(idx*int64(scale) + int64(level))
+		al, bl, cl := a, b, c
+		if r.Noise > 0 {
+			// Symmetric noise keeps expectation fixed.
+			nz := (s.Float64(idx*int64(scale)+int64(level)+1<<40) - 0.5) * 2 * r.Noise
+			al = a + a*nz
+			bl = b - b*nz/2
+			cl = c - c*nz/2
+		}
+		switch {
+		case u < al:
+			// quadrant (0,0): nothing to add
+		case u < al+bl:
+			h |= 1 << (scale - 1 - level)
+		case u < al+bl+cl:
+			t |= 1 << (scale - 1 - level)
+		default:
+			t |= 1 << (scale - 1 - level)
+			h |= 1 << (scale - 1 - level)
+		}
+	}
+	return t, h
+}
+
+// NumNodesForEdges implements Generator: n = numEdges / edgefactor,
+// rounded up to a power of two as Graph500 scales are.
+func (r *RMAT) NumNodesForEdges(numEdges int64) (int64, error) {
+	if numEdges <= 0 {
+		return 0, fmt.Errorf("sgen: numEdges must be positive, got %d", numEdges)
+	}
+	if r.EdgeFactor <= 0 {
+		return 0, fmt.Errorf("sgen: RMAT edge factor must be positive")
+	}
+	n := (numEdges + r.EdgeFactor - 1) / r.EdgeFactor
+	return int64(1) << scaleFor(n), nil
+}
+
+// RunScale is a Graph500-style convenience: generate at scale s
+// (n = 2^s nodes).
+func (r *RMAT) RunScale(scale uint) (*table.EdgeTable, error) {
+	return r.Run(int64(1) << scale)
+}

@@ -1,0 +1,31 @@
+package sgen
+
+import "datasynth/internal/xrand"
+
+// seq adapts a randomly addressable xrand.Stream into a sequential
+// source for batch generators (LFR, BTER, …) whose algorithms are
+// inherently sequential. Determinism is preserved: a fixed seed yields
+// a fixed sequence.
+type seq struct {
+	s xrand.Stream
+	i int64
+}
+
+func newSeq(seed uint64) *seq { return &seq{s: xrand.NewStream(seed)} }
+
+func (q *seq) next() int64 { q.i++; return q.i - 1 }
+
+func (q *seq) Float64() float64 { return q.s.Float64(q.next()) }
+
+func (q *seq) Intn(n int64) int64 { return q.s.Intn(q.next(), n) }
+
+// Shuffle permutes xs in place (Fisher–Yates).
+func (q *seq) ShuffleInt64(xs []int64) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := q.Intn(int64(i + 1))
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// SampleDiscrete draws from d.
+func (q *seq) SampleDiscrete(d *xrand.Discrete) int { return d.SampleU(q.Float64()) }

@@ -1,0 +1,77 @@
+// Package sgen implements DataSynth's Structure Generators (paper
+// Section 4.1). A Structure Generator (SG) produces the edge table of
+// one edge type; properties are attached later by the matching step, so
+// SGs deal only in anonymous node ids [0, n).
+//
+// The SG interface mirrors the paper exactly:
+//
+//	initialize(...)            -> configured generator (Go: constructor)
+//	run(n)                     -> EdgeTable            (Go: Run)
+//	getNumNodes(numEdges)      -> n                    (Go: NumNodesForEdges)
+//
+// The package ships the generators the paper's evaluation and related
+// work discuss: RMAT (Graph500), LFR, BTER, plus Erdős–Rényi,
+// Barabási–Albert and Watts–Strogatz as commonly needed baselines, and
+// bipartite generators for 1→* and *→* edge types between different
+// node types.
+package sgen
+
+import (
+	"fmt"
+
+	"datasynth/internal/table"
+)
+
+// Generator produces graph structure for one edge type. Implementations
+// must be deterministic for a fixed seed.
+type Generator interface {
+	// Name identifies the generator in the DSL and in diagnostics.
+	Name() string
+	// Run generates the edges of a graph over n nodes. Endpoint ids are
+	// in [0, n); edge ids are the dense row numbers of the returned
+	// table.
+	Run(n int64) (*table.EdgeTable, error)
+	// NumNodesForEdges returns the node count n such that Run(n) yields
+	// approximately numEdges edges — the paper's getNumNodes, used when
+	// the user scales the graph by edge count.
+	NumNodesForEdges(numEdges int64) (int64, error)
+}
+
+// BipartiteGenerator produces structure between two distinct node
+// domains (e.g. the running example's `creates` between Person and
+// Message). Tail ids are in [0, nTail), head ids in [0, nHead).
+type BipartiteGenerator interface {
+	Name() string
+	// RunBipartite generates edges from nTail tail nodes. If nHead < 0
+	// the generator chooses the head count itself (e.g. exactly one
+	// Message per `creates` edge) and the implied head count is the
+	// table's max head id + 1.
+	RunBipartite(nTail, nHead int64) (*table.EdgeTable, error)
+	// NumTailsForEdges sizes the tail domain from a desired edge count.
+	NumTailsForEdges(numEdges int64) (int64, error)
+}
+
+// searchNodesForEdges numerically inverts an edge-count model m(n) that
+// is monotone in n. Used by generators whose edge count is not a closed
+// form of n.
+func searchNodesForEdges(numEdges int64, edgesAt func(n int64) float64) (int64, error) {
+	if numEdges <= 0 {
+		return 0, fmt.Errorf("sgen: numEdges must be positive, got %d", numEdges)
+	}
+	lo, hi := int64(1), int64(2)
+	for edgesAt(hi) < float64(numEdges) {
+		hi *= 2
+		if hi > 1<<40 {
+			return 0, fmt.Errorf("sgen: cannot reach %d edges", numEdges)
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if edgesAt(mid) < float64(numEdges) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Marginal utilities: value frequencies, marginal distributions of a
+// joint, and synthetic joint construction (homophily models) used by
+// the engine when the user specifies a correlation declaratively
+// instead of supplying a full matrix.
+
+// Frequencies counts label occurrences, returning counts[v] for
+// v in [0, k).
+func Frequencies(labels []int64, k int) ([]int64, error) {
+	counts := make([]int64, k)
+	for i, l := range labels {
+		if l < 0 || l >= int64(k) {
+			return nil, fmt.Errorf("stats: label %d at %d outside [0,%d)", l, i, k)
+		}
+		counts[l]++
+	}
+	return counts, nil
+}
+
+// Marginal returns the marginal P(X=v) of a symmetric joint: the
+// probability that a uniformly random edge *endpoint* carries value v.
+func (j *Joint) Marginal() []float64 {
+	m := make([]float64, j.K)
+	for a := 0; a < j.K; a++ {
+		for b := a; b < j.K; b++ {
+			p := j.P[a*j.K+b]
+			if a == b {
+				m[a] += p
+			} else {
+				m[a] += p / 2
+				m[b] += p / 2
+			}
+		}
+	}
+	return m
+}
+
+// HomophilyJoint builds a synthetic joint distribution over k values
+// with group-size proportions sizes (need not be normalised): a
+// fraction `homophily` of edges fall within a group (distributed
+// proportionally to the number of intra pairs ~ size²) and the rest
+// across groups (proportionally to size_a·size_b). homophily = 1 gives
+// a perfectly clustered graph; 0 mixes freely. This is how a DSL user
+// writes "Persons from the same country are more likely to know each
+// other" without supplying a full k×k matrix.
+func HomophilyJoint(sizes []int64, homophily float64) (*Joint, error) {
+	k := len(sizes)
+	if k == 0 {
+		return nil, fmt.Errorf("stats: homophily joint needs at least one group")
+	}
+	if homophily < 0 || homophily > 1 {
+		return nil, fmt.Errorf("stats: homophily %v outside [0,1]", homophily)
+	}
+	var total float64
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("stats: group %d has non-positive size %d", i, s)
+		}
+		total += float64(s)
+	}
+	j := NewJoint(k)
+	// Intra mass ∝ size_a², inter mass ∝ 2·size_a·size_b.
+	var intraW, interW float64
+	for a := 0; a < k; a++ {
+		intraW += float64(sizes[a]) * float64(sizes[a])
+		for b := a + 1; b < k; b++ {
+			interW += 2 * float64(sizes[a]) * float64(sizes[b])
+		}
+	}
+	for a := 0; a < k; a++ {
+		w := float64(sizes[a]) * float64(sizes[a]) / intraW
+		j.Set(a, a, homophily*w)
+		for b := a + 1; b < k; b++ {
+			if interW > 0 {
+				w := 2 * float64(sizes[a]) * float64(sizes[b]) / interW
+				j.Set(a, b, (1-homophily)*w)
+			}
+		}
+	}
+	if k == 1 {
+		j.Set(0, 0, 1)
+	}
+	// With a single group or homophily==1, inter mass must fold back.
+	j.Normalize()
+	return j, nil
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs (copied and sorted).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if q <= 0 {
+		return c[0]
+	}
+	if q >= 1 {
+		return c[len(c)-1]
+	}
+	pos := q * float64(len(c)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(c) {
+		return c[lo]
+	}
+	return c[lo]*(1-frac) + c[lo+1]*frac
+}
+
+// Histogram builds a fixed-width histogram of xs over [min, max] with
+// the given number of bins; out-of-range values clamp to the edge bins.
+func Histogram(xs []float64, min, max float64, bins int) ([]int64, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs bins > 0")
+	}
+	if max <= min {
+		return nil, fmt.Errorf("stats: histogram needs max > min")
+	}
+	h := make([]int64, bins)
+	w := (max - min) / float64(bins)
+	for _, x := range xs {
+		b := int((x - min) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h[b]++
+	}
+	return h, nil
+}

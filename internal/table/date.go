@@ -1,0 +1,37 @@
+package table
+
+import (
+	"fmt"
+	"time"
+)
+
+// Dates are stored as int64 days since the Unix epoch. Keeping them
+// numeric lets date properties participate in arithmetic constraints
+// such as the running example's "knows.creationDate is greater than the
+// creationDate of the two connected Persons".
+
+// dateLayout is the on-disk/DSL date format.
+const dateLayout = "2006-01-02"
+
+// ParseDate converts "YYYY-MM-DD" to days since the Unix epoch.
+func ParseDate(s string) (int64, error) {
+	t, err := time.Parse(dateLayout, s)
+	if err != nil {
+		return 0, fmt.Errorf("table: bad date %q: %w", s, err)
+	}
+	return t.Unix() / 86400, nil
+}
+
+// MustParseDate is ParseDate that panics on error; for literals.
+func MustParseDate(s string) int64 {
+	d, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// FormatDate converts days since the Unix epoch back to "YYYY-MM-DD".
+func FormatDate(days int64) string {
+	return time.Unix(days*86400, 0).UTC().Format(dateLayout)
+}

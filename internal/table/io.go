@@ -1,0 +1,192 @@
+package table
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// This file implements the output connectors required by the paper's
+// "others" requirement (Section 2): integration with downstream tooling
+// via portable formats. We write one CSV file per node type and per edge
+// type, the layout used by most property-graph bulk loaders
+// (Neo4j-style node/relationship files).
+
+// NodeCSVOptions configures WriteNodeCSV.
+type NodeCSVOptions struct {
+	Comma rune // field separator; 0 means ','
+}
+
+// WriteNodeCSV writes a node-type file with header "id,prop1,prop2,…"
+// joining the given PTs on the implicit id column. All PTs must have
+// the same length. Property columns are emitted in the order given.
+func WriteNodeCSV(w io.Writer, typeName string, props []*PropertyTable, opt NodeCSVOptions) error {
+	var n int64 = -1
+	for _, pt := range props {
+		if n == -1 {
+			n = pt.Len()
+		} else if pt.Len() != n {
+			return fmt.Errorf("table: property %s has %d rows, expected %d", pt.Name, pt.Len(), n)
+		}
+	}
+	if n == -1 {
+		n = 0
+	}
+	cw := csv.NewWriter(bufio.NewWriterSize(w, 1<<16))
+	if opt.Comma != 0 {
+		cw.Comma = opt.Comma
+	}
+	header := make([]string, 0, len(props)+1)
+	header = append(header, "id")
+	for _, pt := range props {
+		header = append(header, shortName(pt.Name))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for id := int64(0); id < n; id++ {
+		row[0] = strconv.FormatInt(id, 10)
+		for j, pt := range props {
+			row[j+1] = pt.Format(id)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEdgeCSV writes an edge-type file with header
+// "id,tail,head,prop1,…". Edge PTs must have one row per edge.
+func WriteEdgeCSV(w io.Writer, et *EdgeTable, props []*PropertyTable, opt NodeCSVOptions) error {
+	for _, pt := range props {
+		if pt.Len() != et.Len() {
+			return fmt.Errorf("table: edge property %s has %d rows, edge table has %d", pt.Name, pt.Len(), et.Len())
+		}
+	}
+	cw := csv.NewWriter(bufio.NewWriterSize(w, 1<<16))
+	if opt.Comma != 0 {
+		cw.Comma = opt.Comma
+	}
+	header := make([]string, 0, len(props)+3)
+	header = append(header, "id", "tail", "head")
+	for _, pt := range props {
+		header = append(header, shortName(pt.Name))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for id := int64(0); id < et.Len(); id++ {
+		row[0] = strconv.FormatInt(id, 10)
+		row[1] = strconv.FormatInt(et.Tail[id], 10)
+		row[2] = strconv.FormatInt(et.Head[id], 10)
+		for j, pt := range props {
+			row[j+3] = pt.Format(id)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// shortName strips the "Type." prefix from a PT name for CSV headers.
+func shortName(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// Dataset is an in-memory generated property graph: the output of the
+// DataSynth engine, ready to be exported.
+type Dataset struct {
+	// NodeProps maps node type -> ordered property tables.
+	NodeProps map[string][]*PropertyTable
+	// NodeCounts maps node type -> instance count (needed for types
+	// with zero properties).
+	NodeCounts map[string]int64
+	// Edges maps edge type -> edge table.
+	Edges map[string]*EdgeTable
+	// EdgeProps maps edge type -> ordered property tables.
+	EdgeProps map[string][]*PropertyTable
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{
+		NodeProps:  map[string][]*PropertyTable{},
+		NodeCounts: map[string]int64{},
+		Edges:      map[string]*EdgeTable{},
+		EdgeProps:  map[string][]*PropertyTable{},
+	}
+}
+
+// WriteDir exports the dataset as one CSV per type into dir, creating
+// it if necessary. Files are named nodes_<Type>.csv / edges_<Type>.csv.
+func (d *Dataset) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	types := make([]string, 0, len(d.NodeCounts))
+	for t := range d.NodeCounts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		f, err := os.Create(filepath.Join(dir, "nodes_"+t+".csv"))
+		if err != nil {
+			return err
+		}
+		err = WriteNodeCSV(f, t, d.NodeProps[t], NodeCSVOptions{})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("table: writing nodes of %s: %w", t, err)
+		}
+	}
+	edgeTypes := make([]string, 0, len(d.Edges))
+	for t := range d.Edges {
+		edgeTypes = append(edgeTypes, t)
+	}
+	sort.Strings(edgeTypes)
+	for _, t := range edgeTypes {
+		f, err := os.Create(filepath.Join(dir, "edges_"+t+".csv"))
+		if err != nil {
+			return err
+		}
+		err = WriteEdgeCSV(f, d.Edges[t], d.EdgeProps[t], NodeCSVOptions{})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("table: writing edges of %s: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// Stats summarises the dataset for logging.
+func (d *Dataset) Stats() string {
+	var nodes, edges int64
+	for _, n := range d.NodeCounts {
+		nodes += n
+	}
+	for _, et := range d.Edges {
+		edges += et.Len()
+	}
+	return fmt.Sprintf("%d node types / %d nodes, %d edge types / %d edges",
+		len(d.NodeCounts), nodes, len(d.Edges), edges)
+}

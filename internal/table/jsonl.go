@@ -1,0 +1,133 @@
+package table
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// JSON-lines connectors: one JSON object per node/edge, the streaming
+// format document stores and data pipelines ingest directly. Together
+// with the CSV writers this covers the paper's "integrability"
+// requirement (connectors for production-level technologies).
+
+// WriteNodeJSONL writes one object per node: {"id":…, "<prop>":…, …}.
+func WriteNodeJSONL(w io.Writer, typeName string, props []*PropertyTable) error {
+	var n int64 = -1
+	for _, pt := range props {
+		if n == -1 {
+			n = pt.Len()
+		} else if pt.Len() != n {
+			return fmt.Errorf("table: property %s has %d rows, expected %d", pt.Name, pt.Len(), n)
+		}
+	}
+	if n == -1 {
+		n = 0
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	row := make(map[string]any, len(props)+2)
+	for id := int64(0); id < n; id++ {
+		clear(row)
+		row["id"] = id
+		row["label"] = typeName
+		for _, pt := range props {
+			row[shortName(pt.Name)] = jsonValue(pt, id)
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeJSONL writes one object per edge:
+// {"id":…, "label":…, "tail":…, "head":…, "<prop>":…}.
+func WriteEdgeJSONL(w io.Writer, et *EdgeTable, props []*PropertyTable) error {
+	for _, pt := range props {
+		if pt.Len() != et.Len() {
+			return fmt.Errorf("table: edge property %s has %d rows, edge table has %d", pt.Name, pt.Len(), et.Len())
+		}
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	row := make(map[string]any, len(props)+4)
+	for id := int64(0); id < et.Len(); id++ {
+		clear(row)
+		row["id"] = id
+		row["label"] = et.Name
+		row["tail"] = et.Tail[id]
+		row["head"] = et.Head[id]
+		for _, pt := range props {
+			row[shortName(pt.Name)] = jsonValue(pt, id)
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonValue boxes a PT cell for JSON encoding; dates render as their
+// ISO string.
+func jsonValue(pt *PropertyTable, id int64) any {
+	switch pt.Kind {
+	case KindString:
+		return pt.String(id)
+	case KindFloat:
+		return pt.Float(id)
+	case KindDate:
+		return FormatDate(pt.Int(id))
+	default:
+		return pt.Int(id)
+	}
+}
+
+// WriteDirJSONL exports the dataset as nodes_<Type>.jsonl and
+// edges_<Type>.jsonl files.
+func (d *Dataset) WriteDirJSONL(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	types := make([]string, 0, len(d.NodeCounts))
+	for t := range d.NodeCounts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		f, err := os.Create(filepath.Join(dir, "nodes_"+t+".jsonl"))
+		if err != nil {
+			return err
+		}
+		err = WriteNodeJSONL(f, t, d.NodeProps[t])
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("table: writing nodes of %s: %w", t, err)
+		}
+	}
+	edgeTypes := make([]string, 0, len(d.Edges))
+	for t := range d.Edges {
+		edgeTypes = append(edgeTypes, t)
+	}
+	sort.Strings(edgeTypes)
+	for _, t := range edgeTypes {
+		f, err := os.Create(filepath.Join(dir, "edges_"+t+".jsonl"))
+		if err != nil {
+			return err
+		}
+		err = WriteEdgeJSONL(f, d.Edges[t], d.EdgeProps[t])
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("table: writing edges of %s: %w", t, err)
+		}
+	}
+	return nil
+}

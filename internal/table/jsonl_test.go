@@ -1,0 +1,101 @@
+package table
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteNodeJSONL(t *testing.T) {
+	name := NewPropertyTable("Person.name", KindString, 2)
+	name.SetString(0, "alice")
+	name.SetString(1, "bob")
+	date := NewPropertyTable("Person.joined", KindDate, 2)
+	date.SetInt(0, MustParseDate("2020-02-02"))
+	var buf bytes.Buffer
+	if err := WriteNodeJSONL(&buf, "Person", []*PropertyTable{name, date}); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var rows []map[string]any
+	for sc.Scan() {
+		var row map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("invalid JSON line: %v", err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0]["name"] != "alice" || rows[0]["label"] != "Person" {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[0]["joined"] != "2020-02-02" {
+		t.Errorf("date not ISO: %v", rows[0]["joined"])
+	}
+}
+
+func TestWriteEdgeJSONL(t *testing.T) {
+	et := NewEdgeTable("knows", 1)
+	et.Add(3, 4)
+	w := NewPropertyTable("knows.weight", KindFloat, 1)
+	w.SetFloat(0, 0.5)
+	var buf bytes.Buffer
+	if err := WriteEdgeJSONL(&buf, et, []*PropertyTable{w}); err != nil {
+		t.Fatal(err)
+	}
+	var row map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row["tail"] != float64(3) || row["head"] != float64(4) || row["weight"] != 0.5 {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestJSONLValidationErrors(t *testing.T) {
+	a := NewPropertyTable("T.a", KindInt, 2)
+	b := NewPropertyTable("T.b", KindInt, 3)
+	if err := WriteNodeJSONL(&bytes.Buffer{}, "T", []*PropertyTable{a, b}); err == nil {
+		t.Error("ragged PTs should fail")
+	}
+	et := NewEdgeTable("e", 1)
+	et.Add(0, 0)
+	p := NewPropertyTable("e.x", KindInt, 2)
+	if err := WriteEdgeJSONL(&bytes.Buffer{}, et, []*PropertyTable{p}); err == nil {
+		t.Error("mismatched edge props should fail")
+	}
+}
+
+func TestDatasetWriteDirJSONL(t *testing.T) {
+	d := NewDataset()
+	name := NewPropertyTable("Person.name", KindString, 1)
+	name.SetString(0, "x")
+	d.NodeProps["Person"] = []*PropertyTable{name}
+	d.NodeCounts["Person"] = 1
+	et := NewEdgeTable("knows", 1)
+	et.Add(0, 0)
+	d.Edges["knows"] = et
+	dir := t.TempDir()
+	if err := d.WriteDirJSONL(dir); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := os.ReadFile(filepath.Join(dir, "nodes_Person.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row map[string]any
+	if err := json.Unmarshal(nodes, &row); err != nil {
+		t.Fatal(err)
+	}
+	if row["name"] != "x" {
+		t.Errorf("row = %v", row)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "edges_knows.jsonl")); err != nil {
+		t.Error("edges file missing")
+	}
+}

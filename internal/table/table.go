@@ -1,0 +1,258 @@
+// Package table implements DataSynth's tabular data model (paper
+// Section 4.1): Property Tables and Edge Tables stored as typed columns.
+//
+// A Property Table (PT) is a 2-column table [id:int64, value:T] holding
+// one property for one node or edge type; ids are dense in [0, n).
+// An Edge Table (ET) is a 3-column table [id:int64, tail:int64,
+// head:int64] holding the structure of one edge type; edge ids are dense
+// in [0, m) and endpoint ids are dense per endpoint type.
+//
+// Tables are append-oriented and chunked so generation can proceed in
+// parallel: each worker fills its own id range and the chunks are then
+// stitched without copying.
+package table
+
+import "fmt"
+
+// ValueKind enumerates the value types a Property Table can hold.
+type ValueKind int
+
+// Supported property value kinds.
+const (
+	KindString ValueKind = iota
+	KindInt
+	KindFloat
+	KindDate // days since Unix epoch, stored as int64
+)
+
+// String returns the DSL spelling of the kind.
+func (k ValueKind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindDate:
+		return "date"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", int(k))
+	}
+}
+
+// ParseValueKind parses a DSL type name.
+func ParseValueKind(s string) (ValueKind, error) {
+	switch s {
+	case "string":
+		return KindString, nil
+	case "int", "long":
+		return KindInt, nil
+	case "float", "double":
+		return KindFloat, nil
+	case "date":
+		return KindDate, nil
+	default:
+		return 0, fmt.Errorf("table: unknown value kind %q", s)
+	}
+}
+
+// PropertyTable is a dense [id, value] table for one <type, property>
+// pair. Row i holds the value of instance id i, so the id column is
+// implicit. Exactly one of the value slices is non-nil, matching Kind.
+type PropertyTable struct {
+	Name string // "<TypeName>.<property>"
+	Kind ValueKind
+
+	strs   []string
+	ints   []int64
+	floats []float64
+}
+
+// NewPropertyTable allocates a PT with capacity for n rows.
+func NewPropertyTable(name string, kind ValueKind, n int64) *PropertyTable {
+	pt := &PropertyTable{Name: name, Kind: kind}
+	switch kind {
+	case KindString:
+		pt.strs = make([]string, n)
+	case KindFloat:
+		pt.floats = make([]float64, n)
+	default:
+		pt.ints = make([]int64, n)
+	}
+	return pt
+}
+
+// Len returns the number of rows.
+func (pt *PropertyTable) Len() int64 {
+	switch pt.Kind {
+	case KindString:
+		return int64(len(pt.strs))
+	case KindFloat:
+		return int64(len(pt.floats))
+	default:
+		return int64(len(pt.ints))
+	}
+}
+
+// SetString sets row id. Panics if the kind is not string.
+func (pt *PropertyTable) SetString(id int64, v string) {
+	if pt.Kind != KindString {
+		panic(fmt.Sprintf("table: %s is %v, not string", pt.Name, pt.Kind))
+	}
+	pt.strs[id] = v
+}
+
+// SetInt sets row id for int and date tables.
+func (pt *PropertyTable) SetInt(id int64, v int64) {
+	if pt.Kind != KindInt && pt.Kind != KindDate {
+		panic(fmt.Sprintf("table: %s is %v, not int/date", pt.Name, pt.Kind))
+	}
+	pt.ints[id] = v
+}
+
+// SetFloat sets row id. Panics if the kind is not float.
+func (pt *PropertyTable) SetFloat(id int64, v float64) {
+	if pt.Kind != KindFloat {
+		panic(fmt.Sprintf("table: %s is %v, not float", pt.Name, pt.Kind))
+	}
+	pt.floats[id] = v
+}
+
+// String returns the string value of row id.
+func (pt *PropertyTable) String(id int64) string { return pt.strs[id] }
+
+// Int returns the int/date value of row id.
+func (pt *PropertyTable) Int(id int64) int64 { return pt.ints[id] }
+
+// Float returns the float value of row id.
+func (pt *PropertyTable) Float(id int64) float64 { return pt.floats[id] }
+
+// Value returns row id boxed as any, independent of kind.
+func (pt *PropertyTable) Value(id int64) any {
+	switch pt.Kind {
+	case KindString:
+		return pt.strs[id]
+	case KindFloat:
+		return pt.floats[id]
+	default:
+		return pt.ints[id]
+	}
+}
+
+// Format renders row id as its CSV representation.
+func (pt *PropertyTable) Format(id int64) string {
+	switch pt.Kind {
+	case KindString:
+		return pt.strs[id]
+	case KindFloat:
+		return fmt.Sprintf("%g", pt.floats[id])
+	case KindDate:
+		return FormatDate(pt.ints[id])
+	default:
+		return fmt.Sprintf("%d", pt.ints[id])
+	}
+}
+
+// Ints exposes the raw int column (int and date kinds). Callers must
+// not resize it.
+func (pt *PropertyTable) Ints() []int64 { return pt.ints }
+
+// Strings exposes the raw string column.
+func (pt *PropertyTable) Strings() []string { return pt.strs }
+
+// Floats exposes the raw float column.
+func (pt *PropertyTable) Floats() []float64 { return pt.floats }
+
+// EdgeTable is the dense [id, tail, head] table of one edge type. Edge
+// id i connects Tail[i] -> Head[i]; ids are implicit row numbers.
+type EdgeTable struct {
+	Name string // edge type name
+	Tail []int64
+	Head []int64
+}
+
+// NewEdgeTable allocates an ET with capacity hint m.
+func NewEdgeTable(name string, m int64) *EdgeTable {
+	return &EdgeTable{
+		Name: name,
+		Tail: make([]int64, 0, m),
+		Head: make([]int64, 0, m),
+	}
+}
+
+// Len returns the number of edges.
+func (et *EdgeTable) Len() int64 { return int64(len(et.Tail)) }
+
+// Add appends the edge tail -> head and returns its id.
+func (et *EdgeTable) Add(tail, head int64) int64 {
+	et.Tail = append(et.Tail, tail)
+	et.Head = append(et.Head, head)
+	return int64(len(et.Tail) - 1)
+}
+
+// MaxNode returns the largest endpoint id plus one (i.e. the implied
+// node-domain size), or 0 for an empty table.
+func (et *EdgeTable) MaxNode() int64 {
+	var max int64 = -1
+	for i := range et.Tail {
+		if et.Tail[i] > max {
+			max = et.Tail[i]
+		}
+		if et.Head[i] > max {
+			max = et.Head[i]
+		}
+	}
+	return max + 1
+}
+
+// Validate checks structural invariants: endpoints within [0, nTail)
+// and [0, nHead), and parallel column lengths. Pass nTail/nHead <= 0 to
+// skip the respective bound check.
+func (et *EdgeTable) Validate(nTail, nHead int64) error {
+	if len(et.Tail) != len(et.Head) {
+		return fmt.Errorf("table: %s has ragged columns (%d tails, %d heads)", et.Name, len(et.Tail), len(et.Head))
+	}
+	for i := range et.Tail {
+		if et.Tail[i] < 0 || (nTail > 0 && et.Tail[i] >= nTail) {
+			return fmt.Errorf("table: %s edge %d has tail %d outside [0,%d)", et.Name, i, et.Tail[i], nTail)
+		}
+		if et.Head[i] < 0 || (nHead > 0 && et.Head[i] >= nHead) {
+			return fmt.Errorf("table: %s edge %d has head %d outside [0,%d)", et.Name, i, et.Head[i], nHead)
+		}
+	}
+	return nil
+}
+
+// RemapTails rewrites every tail id through f. Used by the matching
+// step to substitute structure-node ids with property-row ids.
+func (et *EdgeTable) RemapTails(f []int64) {
+	for i, t := range et.Tail {
+		et.Tail[i] = f[t]
+	}
+}
+
+// RemapHeads rewrites every head id through f.
+func (et *EdgeTable) RemapHeads(f []int64) {
+	for i, h := range et.Head {
+		et.Head[i] = f[h]
+	}
+}
+
+// Remap rewrites both endpoints through f (monopartite matching).
+func (et *EdgeTable) Remap(f []int64) {
+	et.RemapTails(f)
+	et.RemapHeads(f)
+}
+
+// Clone returns a deep copy of the table.
+func (et *EdgeTable) Clone() *EdgeTable {
+	c := &EdgeTable{
+		Name: et.Name,
+		Tail: make([]int64, len(et.Tail)),
+		Head: make([]int64, len(et.Head)),
+	}
+	copy(c.Tail, et.Tail)
+	copy(c.Head, et.Head)
+	return c
+}
