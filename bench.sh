@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench.sh — record the Figure 3 benchmark panels with -benchmem and
+# write a machine-readable snapshot (BENCH_pr<N>.json) so the perf
+# trajectory is tracked PR over PR.
+#
+# Usage: ./bench.sh [pr-number] [bench-regex]
+set -euo pipefail
+
+PR="${1:-1}"
+PATTERN="${2:-Figure3}"
+OUT="BENCH_pr${PR}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count 1 . | tee "$RAW"
+
+# Parse `go test -bench` output lines into JSON records. A line looks
+# like:
+#   BenchmarkFigure3_LFR10k_K16  3  338359616 ns/op  0.03 KS  0.06 L1 \
+#     955265 edges  157510493 B/op  256504 allocs/op
+awk -v pr="$PR" '
+BEGIN { printf "{\n  \"pr\": %s,\n  \"benchmarks\": [\n", pr; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        metric = $(i + 1); value = $i
+        gsub(/[^A-Za-z0-9_\/]/, "_", metric)
+        line = line sprintf("\"%s\": %s, ", metric, value)
+    }
+    sub(/, $/, "", line)
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s, %s}", name, iters, line
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

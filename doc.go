@@ -6,6 +6,29 @@
 // property-structure correlations preserved by the SBM-Part streaming
 // matching algorithm.
 //
+// # Execution model
+//
+// The engine (internal/core) executes a schema as a task DAG. The
+// dependency analysis (internal/depgraph) turns the schema into tasks
+// of four kinds — generate node property, generate structure, match
+// properties to structure, generate edge property — and exposes the
+// per-task dependency edges (Plan.Deps), not just a topological order.
+// A bounded worker pool dispatches every task the moment its
+// dependencies are satisfied, so independent schema elements generate
+// concurrently — the in-process analogue of the paper's shared-nothing
+// cluster. Determinism is independent of the worker count: every task
+// keys its RNG streams off (schema seed, task id), so a fixed seed
+// yields a byte-identical dataset at Workers = 1 and Workers = NumCPU.
+// Within a property task, rows additionally fan out to workers, since
+// every value is a pure function of (id, r(id), deps).
+//
+// The hot inner loops are allocation-free at steady state: SBM-Part
+// reuses per-partitioner scoring scratch, the LFR configuration model
+// deduplicates edges by sort-and-compact over packed keys (plus a
+// stamp table for the small intra-community universes) instead of a
+// per-edge hash map, and CSR graph construction goes through a pooled
+// reusable builder (internal/graph.Builder).
+//
 // The library lives under internal/ (see README.md for the map);
 // cmd/datasynth generates datasets from DSL schemas and
 // cmd/sbmpart-eval regenerates the paper's evaluation. The benchmarks
@@ -13,4 +36,6 @@
 // with
 //
 //	go test -bench=. -benchmem .
+//
+// or ./bench.sh to record a machine-readable snapshot.
 package datasynth

@@ -1,0 +1,3 @@
+module datasynth
+
+go 1.24

@@ -5,10 +5,22 @@
 // edge type, match properties with structure, generate edge
 // properties — and returns a table.Dataset ready for export.
 //
-// Property generation is embarrassingly parallel: every value is a pure
-// function of (id, r(id), deps), so the engine fans row ranges out to a
-// worker pool, the in-memory stand-in for the paper's shared-nothing
-// cluster (the algorithms are identical; only the transport differs).
+// Execution is dependency-driven and concurrent at two levels,
+// mirroring the paper's shared-nothing cluster design in-process:
+//
+//   - Task level: depgraph exposes the plan as a DAG (Plan.Deps), and
+//     the engine dispatches every task whose dependencies are satisfied
+//     onto a bounded worker pool, so independent schema elements —
+//     property generation, structure generation, and SBM-Part matching
+//     of unrelated types — run concurrently.
+//   - Row level: property generation is embarrassingly parallel (every
+//     value is a pure function of (id, r(id), deps)), so each property
+//     task additionally fans row ranges out to workers.
+//
+// Determinism is independent of the worker count: every task keys its
+// RNG streams off (schema seed, task id) and writes only its own
+// output slot, so the same seed yields a byte-identical dataset whether
+// the plan runs on one worker or on NumCPU.
 package core
 
 import (
@@ -29,9 +41,12 @@ type Engine struct {
 	Schema *schema.Schema
 	PGens  *pgen.Registry
 	SGens  *sgen.Registry
-	// Workers bounds property-generation parallelism; 0 means NumCPU.
+	// Workers bounds the parallelism of both the task scheduler and
+	// per-property row generation; 0 means NumCPU, 1 runs the plan
+	// strictly sequentially. The output is byte-identical at any value.
 	Workers int
-	// Logf, if non-nil, receives progress lines.
+	// Logf, if non-nil, receives progress lines. It may be called from
+	// multiple scheduler workers concurrently.
 	Logf func(format string, args ...any)
 }
 
@@ -40,8 +55,12 @@ func New(s *schema.Schema) *Engine {
 	return &Engine{Schema: s, PGens: pgen.NewRegistry(), SGens: sgen.NewRegistry()}
 }
 
-// run-state, private to one Generate call.
+// run-state, private to one Generate call. Scheduler workers execute
+// tasks concurrently, so every map access goes through the mu-guarded
+// accessors below; each task writes only its own output slot, which
+// keeps the state itself order-independent.
 type runState struct {
+	mu        sync.Mutex
 	counts    map[string]int64
 	nodeProps map[string]map[string]*table.PropertyTable
 	edgeProps map[string]map[string]*table.PropertyTable
@@ -59,13 +78,8 @@ type fusedColumn struct {
 	values []string
 }
 
-// Generate executes the schema and returns the dataset.
-func (e *Engine) Generate() (*table.Dataset, error) {
-	plan, err := depgraph.Analyze(e.Schema)
-	if err != nil {
-		return nil, err
-	}
-	st := &runState{
+func newRunState() *runState {
+	return &runState{
 		counts:     map[string]int64{},
 		nodeProps:  map[string]map[string]*table.PropertyTable{},
 		edgeProps:  map[string]map[string]*table.PropertyTable{},
@@ -73,21 +87,102 @@ func (e *Engine) Generate() (*table.Dataset, error) {
 		matched:    map[string]bool{},
 		fusedProps: map[string]map[string]*fusedColumn{},
 	}
-	for _, t := range plan.Tasks {
-		e.logf("task %s", t.ID())
-		switch t.Kind {
-		case depgraph.TaskProperty:
-			err = e.genNodeProperty(st, plan, t.Type, t.Prop)
-		case depgraph.TaskStructure:
-			err = e.genStructure(st, plan, t.Type)
-		case depgraph.TaskMatch:
-			err = e.matchEdge(st, t.Type)
-		case depgraph.TaskEdgeProperty:
-			err = e.genEdgeProperty(st, t.Type, t.Prop)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: task %s: %w", t.ID(), err)
-		}
+}
+
+func (st *runState) count(name string) (int64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c, ok := st.counts[name]
+	return c, ok
+}
+
+func (st *runState) setCount(name string, c int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.counts[name] = c
+}
+
+func (st *runState) nodeProp(typeName, propName string) (*table.PropertyTable, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pt, ok := st.nodeProps[typeName][propName]
+	return pt, ok
+}
+
+func (st *runState) setNodeProp(typeName, propName string, pt *table.PropertyTable) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.nodeProps[typeName] == nil {
+		st.nodeProps[typeName] = map[string]*table.PropertyTable{}
+	}
+	st.nodeProps[typeName][propName] = pt
+}
+
+func (st *runState) edgeProp(edgeName, propName string) (*table.PropertyTable, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pt, ok := st.edgeProps[edgeName][propName]
+	return pt, ok
+}
+
+func (st *runState) setEdgeProp(edgeName, propName string, pt *table.PropertyTable) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.edgeProps[edgeName] == nil {
+		st.edgeProps[edgeName] = map[string]*table.PropertyTable{}
+	}
+	st.edgeProps[edgeName][propName] = pt
+}
+
+func (st *runState) edgeTable(name string) (*table.EdgeTable, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	et, ok := st.edges[name]
+	return et, ok
+}
+
+func (st *runState) setEdgeTable(name string, et *table.EdgeTable) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.edges[name] = et
+}
+
+func (st *runState) isMatched(name string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.matched[name]
+}
+
+func (st *runState) setMatched(name string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.matched[name] = true
+}
+
+func (st *runState) fusedCol(typeName, propName string) *fusedColumn {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fusedProps[typeName][propName]
+}
+
+func (st *runState) setFusedCol(typeName, propName string, fc *fusedColumn) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.fusedProps[typeName] == nil {
+		st.fusedProps[typeName] = map[string]*fusedColumn{}
+	}
+	st.fusedProps[typeName][propName] = fc
+}
+
+// Generate executes the schema and returns the dataset.
+func (e *Engine) Generate() (*table.Dataset, error) {
+	plan, err := depgraph.Analyze(e.Schema)
+	if err != nil {
+		return nil, err
+	}
+	st := newRunState()
+	if err := e.runPlan(st, plan); err != nil {
+		return nil, err
 	}
 	// Node types with no properties still need their counts resolved
 	// for the dataset (e.g. a bare join type).
@@ -99,6 +194,111 @@ func (e *Engine) Generate() (*table.Dataset, error) {
 	return e.assemble(st), nil
 }
 
+// runPlan executes the plan's task DAG on a bounded worker pool: a task
+// is dispatched as soon as every dependency has completed. Ready-queue
+// sends never block (the channel holds every task), completion
+// bookkeeping happens under one mutex, and the first task error stops
+// dispatch; in-flight tasks drain before the error is returned.
+func (e *Engine) runPlan(st *runState, plan *depgraph.Plan) error {
+	n := len(plan.Tasks)
+	if n == 0 {
+		return nil
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	dependents := make([][]int, n)
+	indeg := make([]int, n)
+	for i, deps := range plan.Deps {
+		indeg[i] = len(deps)
+		for _, d := range deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	ready := make(chan int, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready <- i
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		remaining = n
+		closed    bool
+	)
+	closeReady := func() {
+		if !closed {
+			closed = true
+			close(ready)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue // drain without executing
+				}
+				t := plan.Tasks[i]
+				e.logf("task %s", t.ID())
+				err := e.runTask(st, plan, t)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: task %s: %w", t.ID(), err)
+					}
+					closeReady()
+					mu.Unlock()
+					continue
+				}
+				for _, j := range dependents[i] {
+					indeg[j]--
+					if indeg[j] == 0 && !closed {
+						ready <- j
+					}
+				}
+				remaining--
+				if remaining == 0 {
+					closeReady()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runTask dispatches one plan task to its executor.
+func (e *Engine) runTask(st *runState, plan *depgraph.Plan, t depgraph.Task) error {
+	switch t.Kind {
+	case depgraph.TaskProperty:
+		return e.genNodeProperty(st, plan, t.Type, t.Prop)
+	case depgraph.TaskStructure:
+		return e.genStructure(st, plan, t.Type)
+	case depgraph.TaskMatch:
+		return e.matchEdge(st, plan, t.Type)
+	case depgraph.TaskEdgeProperty:
+		return e.genEdgeProperty(st, t.Type, t.Prop)
+	default:
+		return fmt.Errorf("core: unknown task kind %v", t.Kind)
+	}
+}
+
 func (e *Engine) logf(format string, args ...any) {
 	if e.Logf != nil {
 		e.Logf(format, args...)
@@ -106,9 +306,11 @@ func (e *Engine) logf(format string, args ...any) {
 }
 
 // nodeCount resolves (and caches) a node type's instance count using
-// the plan's count sources.
+// the plan's count sources. Concurrent tasks may resolve the same type
+// simultaneously; the computation is deterministic, so the duplicated
+// work writes the same value.
 func (e *Engine) nodeCount(st *runState, plan *depgraph.Plan, typeName string) (int64, error) {
-	if c, ok := st.counts[typeName]; ok {
+	if c, ok := st.count(typeName); ok {
 		return c, nil
 	}
 	src, ok := plan.Counts[typeName]
@@ -120,7 +322,7 @@ func (e *Engine) nodeCount(st *runState, plan *depgraph.Plan, typeName string) (
 	case depgraph.SourceExplicit:
 		c = e.Schema.NodeType(typeName).Count
 	case depgraph.SourceEdgeHead:
-		et, ok := st.edges[src.Edge]
+		et, ok := st.edgeTable(src.Edge)
 		if !ok {
 			return 0, fmt.Errorf("core: count of %q needs structure of %q first", typeName, src.Edge)
 		}
@@ -138,7 +340,7 @@ func (e *Engine) nodeCount(st *runState, plan *depgraph.Plan, typeName string) (
 	if c <= 0 {
 		return 0, fmt.Errorf("core: resolved count of %q is %d", typeName, c)
 	}
-	st.counts[typeName] = c
+	st.setCount(typeName, c)
 	return c, nil
 }
 
@@ -178,7 +380,7 @@ func (e *Engine) genNodeProperty(st *runState, plan *depgraph.Plan, typeName, pr
 	if err != nil {
 		return err
 	}
-	if fc := st.fusedProps[typeName][propName]; fc != nil {
+	if fc := st.fusedCol(typeName, propName); fc != nil {
 		if int64(len(fc.labels)) != n {
 			return fmt.Errorf("core: fused column %s.%s has %d rows, expected %d", typeName, propName, len(fc.labels), n)
 		}
@@ -189,10 +391,7 @@ func (e *Engine) genNodeProperty(st *runState, plan *depgraph.Plan, typeName, pr
 		for id := int64(0); id < n; id++ {
 			pt.SetString(id, fc.values[fc.labels[id]])
 		}
-		if st.nodeProps[typeName] == nil {
-			st.nodeProps[typeName] = map[string]*table.PropertyTable{}
-		}
-		st.nodeProps[typeName][propName] = pt
+		st.setNodeProp(typeName, propName, pt)
 		return nil
 	}
 	gen, err := e.PGens.Build(prop.Generator.Name, prop.Generator.Params)
@@ -204,7 +403,7 @@ func (e *Engine) genNodeProperty(st *runState, plan *depgraph.Plan, typeName, pr
 	}
 	deps := make([]*table.PropertyTable, len(prop.DependsOn))
 	for i, d := range prop.DependsOn {
-		pt, ok := st.nodeProps[typeName][d]
+		pt, ok := st.nodeProp(typeName, d)
 		if !ok {
 			return fmt.Errorf("core: dependency %s.%s not materialised", typeName, d)
 		}
@@ -220,15 +419,14 @@ func (e *Engine) genNodeProperty(st *runState, plan *depgraph.Plan, typeName, pr
 	}, len(deps)); err != nil {
 		return err
 	}
-	if st.nodeProps[typeName] == nil {
-		st.nodeProps[typeName] = map[string]*table.PropertyTable{}
-	}
-	st.nodeProps[typeName][propName] = pt
+	st.setNodeProp(typeName, propName, pt)
 	return nil
 }
 
 // parallelFill fans the id range out to workers; each worker computes
-// rows independently thanks to in-place generation.
+// rows independently thanks to in-place generation. A failing worker
+// closes done before exiting, so the producer never blocks on a send
+// nobody will receive — even when every worker has bailed out early.
 func (e *Engine) parallelFill(pt *table.PropertyTable, n int64, gen pgen.Generator, stream xrand.Stream, depsFor func(id int64, buf []pgen.Value) []pgen.Value, arity int) error {
 	workers := e.Workers
 	if workers <= 0 {
@@ -238,6 +436,8 @@ func (e *Engine) parallelFill(pt *table.PropertyTable, n int64, gen pgen.Generat
 	type job struct{ lo, hi int64 }
 	jobs := make(chan job, workers)
 	errs := make(chan error, workers)
+	done := make(chan struct{})
+	var closeOnce sync.Once
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -245,6 +445,11 @@ func (e *Engine) parallelFill(pt *table.PropertyTable, n int64, gen pgen.Generat
 			defer wg.Done()
 			buf := make([]pgen.Value, arity)
 			for j := range jobs {
+				select {
+				case <-done:
+					return // another worker failed; stop early
+				default:
+				}
 				for id := j.lo; id < j.hi; id++ {
 					v, err := gen.Run(id, stream, depsFor(id, buf))
 					if err != nil {
@@ -252,6 +457,7 @@ func (e *Engine) parallelFill(pt *table.PropertyTable, n int64, gen pgen.Generat
 						case errs <- fmt.Errorf("core: row %d: %w", id, err):
 						default:
 						}
+						closeOnce.Do(func() { close(done) })
 						return
 					}
 					storeValue(pt, id, v)
@@ -259,12 +465,17 @@ func (e *Engine) parallelFill(pt *table.PropertyTable, n int64, gen pgen.Generat
 			}
 		}()
 	}
+produce:
 	for lo := int64(0); lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		jobs <- job{lo, hi}
+		select {
+		case jobs <- job{lo, hi}:
+		case <-done:
+			break produce
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"datasynth/internal/dsl"
+	"datasynth/internal/pgen"
+	"datasynth/internal/schema"
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+// quickstartSchema mirrors examples/quickstart: a correlated LFR graph
+// over one node type.
+func quickstartSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "quickstart",
+		Seed: 7,
+		Nodes: []schema.NodeType{{
+			Name:  "User",
+			Count: 2000,
+			Properties: []schema.Property{
+				{
+					Name: "city", Kind: table.KindString,
+					Generator: schema.GeneratorSpec{
+						Name:   "categorical",
+						Params: map[string]string{"values": "tokyo|paris|lima|cairo", "weights": "4|3|2|1"},
+					},
+				},
+				{
+					Name: "karma", Kind: table.KindInt,
+					Generator: schema.GeneratorSpec{
+						Name:   "uniform-int",
+						Params: map[string]string{"lo": "0", "hi": "1000"},
+					},
+				},
+			},
+		}},
+		Edges: []schema.EdgeType{{
+			Name: "follows", Tail: "User", Head: "User",
+			Cardinality: schema.ManyToMany,
+			Structure: schema.GeneratorSpec{
+				Name:   "lfr",
+				Params: map[string]string{"avgDegree": "12", "maxDegree": "40"},
+			},
+			Correlation: &schema.Correlation{Property: "city", Homophily: 0.7},
+		}},
+	}
+}
+
+// socialDSL mirrors examples/socialnetwork at test scale: multiple node
+// types, a count inferred through a 1→* edge, correlated matching,
+// conditional properties, and an edge property with endpoint deps —
+// the widest task DAG the examples exercise.
+const socialDSL = `
+graph social {
+  seed = 42
+  node Person {
+    count = 3000
+    property country : string = categorical(dict="countries")
+    property sex     : string = categorical(values="M|F")
+    property name    : string = dictionary() given (country, sex)
+    property creationDate : date = uniform-date(from="2010-01-01", to="2020-01-01")
+  }
+  node Message {
+    property topic : string = categorical(dict="topics")
+  }
+  edge knows : Person *-* Person {
+    structure = lfr(avgDegree=12, maxDegree=40)
+    correlate country homophily 0.8
+    property creationDate : date = max-endpoint-date(maxDays=365) given (tail.creationDate, head.creationDate)
+  }
+  edge creates : Person 1-* Message {
+    structure = powerlaw-out(min=1, max=10, gamma=2.0)
+    property creationDate : date = uniform-date(from="2010-01-01", to="2020-01-01")
+  }
+}
+`
+
+// assertDatasetsIdentical compares every property table and edge table
+// of two datasets cell by cell.
+func assertDatasetsIdentical(t *testing.T, want, got *table.Dataset) {
+	t.Helper()
+	if len(want.NodeCounts) != len(got.NodeCounts) {
+		t.Fatalf("node type count differs: %d vs %d", len(want.NodeCounts), len(got.NodeCounts))
+	}
+	for name, c := range want.NodeCounts {
+		if got.NodeCounts[name] != c {
+			t.Fatalf("count of %s: %d vs %d", name, c, got.NodeCounts[name])
+		}
+	}
+	comparePTs := func(kind string, w, g []*table.PropertyTable) {
+		if len(w) != len(g) {
+			t.Fatalf("%s: %d vs %d property tables", kind, len(w), len(g))
+		}
+		for i := range w {
+			if w[i].Name != g[i].Name || w[i].Kind != g[i].Kind || w[i].Len() != g[i].Len() {
+				t.Fatalf("%s table %s shape differs from %s", kind, w[i].Name, g[i].Name)
+			}
+			for id := int64(0); id < w[i].Len(); id++ {
+				if w[i].Value(id) != g[i].Value(id) {
+					t.Fatalf("%s %s row %d: %v vs %v", kind, w[i].Name, id, w[i].Value(id), g[i].Value(id))
+				}
+			}
+		}
+	}
+	for name, pts := range want.NodeProps {
+		comparePTs("node "+name, pts, got.NodeProps[name])
+	}
+	for name, pts := range want.EdgeProps {
+		comparePTs("edge "+name, pts, got.EdgeProps[name])
+	}
+	if len(want.Edges) != len(got.Edges) {
+		t.Fatalf("edge type count differs")
+	}
+	for name, w := range want.Edges {
+		g := got.Edges[name]
+		if g == nil || w.Len() != g.Len() {
+			t.Fatalf("edge table %s length differs", name)
+		}
+		for i := range w.Tail {
+			if w.Tail[i] != g.Tail[i] || w.Head[i] != g.Head[i] {
+				t.Fatalf("edge table %s row %d: (%d,%d) vs (%d,%d)",
+					name, i, w.Tail[i], w.Head[i], g.Tail[i], g.Head[i])
+			}
+		}
+	}
+}
+
+// generateWithWorkers runs a schema at the given worker count.
+func generateWithWorkers(t *testing.T, s *schema.Schema, workers int) *table.Dataset {
+	t.Helper()
+	e := New(s)
+	e.Workers = workers
+	d, err := e.Generate()
+	if err != nil {
+		t.Fatalf("Workers=%d: %v", workers, err)
+	}
+	return d
+}
+
+// TestSchedulerDeterminismQuickstart: the DAG scheduler must produce a
+// byte-identical dataset at any worker count.
+func TestSchedulerDeterminismQuickstart(t *testing.T) {
+	s := quickstartSchema()
+	seq := generateWithWorkers(t, s, 1)
+	par := generateWithWorkers(t, s, runtime.NumCPU())
+	assertDatasetsIdentical(t, seq, par)
+}
+
+func TestSchedulerDeterminismSocialNetwork(t *testing.T) {
+	s, err := dsl.Parse(socialDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := generateWithWorkers(t, s, 1)
+	par := generateWithWorkers(t, s, runtime.NumCPU())
+	assertDatasetsIdentical(t, seq, par)
+	// And once more in parallel: concurrent runs of the same schema must
+	// agree with each other too.
+	par2 := generateWithWorkers(t, s, runtime.NumCPU())
+	assertDatasetsIdentical(t, seq, par2)
+}
+
+// alwaysFailGen errors on every row, so every parallelFill worker
+// exits early — the scenario that used to deadlock the producer.
+type alwaysFailGen struct{}
+
+func (alwaysFailGen) Name() string          { return "always-fails" }
+func (alwaysFailGen) Kind() table.ValueKind { return table.KindInt }
+func (alwaysFailGen) Arity() int            { return 0 }
+func (alwaysFailGen) Run(id int64, s xrand.Stream, deps []pgen.Value) (pgen.Value, error) {
+	return pgen.Value{}, fmt.Errorf("boom at row %d", id)
+}
+
+// TestParallelFillErrorNoDeadlock: when every worker exits early on a
+// generator error, the chunk producer must stop rather than block
+// forever on the jobs channel. n is far larger than chunk·workers so a
+// non-cancelled producer could not finish on channel capacity alone.
+func TestParallelFillErrorNoDeadlock(t *testing.T) {
+	e := New(&schema.Schema{Name: "x"})
+	e.Workers = 2
+	const n = 1 << 22 // 4M rows ≫ chunk(8192) · workers(2)
+	pt := table.NewPropertyTable("T.p", table.KindInt, n)
+	done := make(chan error, 1)
+	go func() {
+		done <- e.parallelFill(pt, n, alwaysFailGen{}, xrand.NewStream(1),
+			func(id int64, buf []pgen.Value) []pgen.Value { return buf[:0] }, 0)
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected a generator error, got nil")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallelFill deadlocked: producer still blocked after workers failed")
+	}
+}
+
+// TestSchedulerErrorPropagates: a failing task must surface its error
+// through the concurrent scheduler (and not hang the run).
+func TestSchedulerErrorPropagates(t *testing.T) {
+	s := &schema.Schema{
+		Name: "bad",
+		Seed: 1,
+		Nodes: []schema.NodeType{{
+			Name:  "N",
+			Count: 100,
+			Properties: []schema.Property{{
+				Name: "p", Kind: table.KindInt,
+				Generator: schema.GeneratorSpec{Name: "no-such-generator"},
+			}},
+		}},
+	}
+	e := New(s)
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Generate()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an error for unknown generator")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Generate hung on a failing task")
+	}
+}

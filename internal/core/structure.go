@@ -72,9 +72,32 @@ func (e *Engine) genStructure(st *runState, plan *depgraph.Plan, edgeName string
 		}
 	}
 	et.Name = edgeName
-	st.edges[edgeName] = et
+	st.setEdgeTable(edgeName, et)
+	e.cacheEdgeSourcedCounts(st, plan, edgeName, et)
 	e.logf("structure %s: %d edges", edgeName, et.Len())
 	return nil
+}
+
+// cacheEdgeSourcedCounts resolves every node count sourced from this
+// edge's table (SourceEdgeHead) as soon as the structure exists. The
+// match task later rewrites the table's endpoint ids in place, so
+// readers must never scan it themselves: resolving here both avoids a
+// data race between a count-reading task and the remap, and pins the
+// count to the pre-remap id domain — the only value that is correct.
+// A non-positive MaxNode (empty table) is left uncached so nodeCount
+// reports its usual error at the first reader.
+func (e *Engine) cacheEdgeSourcedCounts(st *runState, plan *depgraph.Plan, edgeName string, et *table.EdgeTable) {
+	for typeName, src := range plan.Counts {
+		if src.Kind != depgraph.SourceEdgeHead || src.Edge != edgeName {
+			continue
+		}
+		if _, ok := st.count(typeName); ok {
+			continue
+		}
+		if c := et.MaxNode(); c > 0 {
+			st.setCount(typeName, c)
+		}
+	}
 }
 
 // genFusedStructure implements the paper's future-work fused operator
@@ -84,7 +107,7 @@ func (e *Engine) genStructure(st *runState, plan *depgraph.Plan, edgeName string
 // final instance ids, so the match task becomes a no-op.
 func (e *Engine) genFusedStructure(st *runState, plan *depgraph.Plan, edge *schema.EdgeType, seed uint64) error {
 	c := edge.Correlation
-	tailPT, ok := st.nodeProps[edge.Tail][c.TailProperty]
+	tailPT, ok := st.nodeProp(edge.Tail, c.TailProperty)
 	if !ok {
 		return fmt.Errorf("core: fused edge %s needs property %s.%s first", edge.Name, edge.Tail, c.TailProperty)
 	}
@@ -136,12 +159,10 @@ func (e *Engine) genFusedStructure(st *runState, plan *depgraph.Plan, edge *sche
 		return err
 	}
 	et.Name = edge.Name
-	st.edges[edge.Name] = et
-	st.matched[edge.Name] = true // tails are final ids; heads are fresh
-	if st.fusedProps[edge.Head] == nil {
-		st.fusedProps[edge.Head] = map[string]*fusedColumn{}
-	}
-	st.fusedProps[edge.Head][c.HeadProperty] = &fusedColumn{labels: headLabels, values: headValues}
+	st.setEdgeTable(edge.Name, et)
+	e.cacheEdgeSourcedCounts(st, plan, edge.Name, et)
+	st.setMatched(edge.Name) // tails are final ids; heads are fresh
+	st.setFusedCol(edge.Head, c.HeadProperty, &fusedColumn{labels: headLabels, values: headValues})
 	e.logf("fused structure %s: %d edges, joint exact up to rounding", edge.Name, et.Len())
 	return nil
 }
@@ -206,19 +227,25 @@ func fusedTarget(c *schema.Correlation, tailLabels []int64, kt int, cat *pgen.Ca
 // structure's anonymous node ids into instance ids, preserving the
 // requested property-structure correlation (or randomly when none is
 // declared).
-func (e *Engine) matchEdge(st *runState, edgeName string) error {
+func (e *Engine) matchEdge(st *runState, plan *depgraph.Plan, edgeName string) error {
 	edge := e.Schema.EdgeType(edgeName)
-	et, ok := st.edges[edgeName]
+	et, ok := st.edgeTable(edgeName)
 	if !ok {
 		return fmt.Errorf("core: match before structure for %q", edgeName)
 	}
-	if st.matched[edgeName] {
+	if st.isMatched(edgeName) {
 		// Fused edges arrive pre-matched.
 		return nil
 	}
 	seed := xrand.NewStream(e.Schema.Seed).DeriveStream("match." + edgeName).Seed()
-	nTail := st.counts[edge.Tail]
-	nHead := st.counts[edge.Head]
+	nTail, err := e.nodeCount(st, plan, edge.Tail)
+	if err != nil {
+		return err
+	}
+	nHead, err := e.nodeCount(st, plan, edge.Head)
+	if err != nil {
+		return err
+	}
 
 	if edge.Correlation == nil {
 		return e.matchRandom(st, edge, et, nTail, nHead, seed)
@@ -306,7 +333,7 @@ func (e *Engine) matchRandom(st *runState, edge *schema.EdgeType, et *table.Edge
 			et.RemapHeads(fHead)
 		}
 	}
-	st.matched[edge.Name] = true
+	st.setMatched(edge.Name)
 	return nil
 }
 
@@ -366,7 +393,7 @@ func targetJoint(c *schema.Correlation, labels []int64, k int) (*stats.Joint, er
 
 // matchMonopartite runs SBM-Part for a same-type correlated edge.
 func (e *Engine) matchMonopartite(st *runState, edge *schema.EdgeType, et *table.EdgeTable, nTail int64, seed uint64) error {
-	pt, ok := st.nodeProps[edge.Tail][edge.Correlation.Property]
+	pt, ok := st.nodeProp(edge.Tail, edge.Correlation.Property)
 	if !ok {
 		return fmt.Errorf("core: correlated property %s.%s not materialised", edge.Tail, edge.Correlation.Property)
 	}
@@ -394,7 +421,7 @@ func (e *Engine) matchMonopartite(st *runState, edge *schema.EdgeType, et *table
 	et.Remap(res.Mapping)
 	l1, _ := stats.L1(target, res.Observed)
 	e.logf("match %s: k=%d L1=%.4f", edge.Name, k, l1)
-	st.matched[edge.Name] = true
+	st.setMatched(edge.Name)
 	return nil
 }
 
@@ -402,11 +429,11 @@ func (e *Engine) matchMonopartite(st *runState, edge *schema.EdgeType, et *table
 // correlating a tail property with a head property.
 func (e *Engine) matchBipartiteEdge(st *runState, edge *schema.EdgeType, et *table.EdgeTable, nTail, nHead int64, seed uint64) error {
 	c := edge.Correlation
-	tailPT, ok := st.nodeProps[edge.Tail][c.TailProperty]
+	tailPT, ok := st.nodeProp(edge.Tail, c.TailProperty)
 	if !ok {
 		return fmt.Errorf("core: property %s.%s not materialised", edge.Tail, c.TailProperty)
 	}
-	headPT, ok := st.nodeProps[edge.Head][c.HeadProperty]
+	headPT, ok := st.nodeProp(edge.Head, c.HeadProperty)
 	if !ok {
 		return fmt.Errorf("core: property %s.%s not materialised", edge.Head, c.HeadProperty)
 	}
@@ -429,7 +456,7 @@ func (e *Engine) matchBipartiteEdge(st *runState, edge *schema.EdgeType, et *tab
 	}
 	et.RemapTails(res.TailMapping)
 	et.RemapHeads(res.HeadMapping)
-	st.matched[edge.Name] = true
+	st.setMatched(edge.Name)
 	return nil
 }
 
@@ -500,8 +527,8 @@ func bipartiteTarget(c *schema.Correlation, tailLabels, headLabels []int64, kt, 
 func (e *Engine) genEdgeProperty(st *runState, edgeName, propName string) error {
 	edge := e.Schema.EdgeType(edgeName)
 	prop := edge.Property(propName)
-	et, ok := st.edges[edgeName]
-	if !ok || !st.matched[edgeName] {
+	et, ok := st.edgeTable(edgeName)
+	if !ok || !st.isMatched(edgeName) {
 		return fmt.Errorf("core: edge property %s.%s before match", edgeName, propName)
 	}
 	gen, err := e.PGens.Build(prop.Generator.Name, prop.Generator.Params)
@@ -519,19 +546,19 @@ func (e *Engine) genEdgeProperty(st *runState, edgeName, propName string) error 
 	for i, d := range prop.DependsOn {
 		switch {
 		case len(d) > 5 && d[:5] == "tail.":
-			pt, ok := st.nodeProps[edge.Tail][d[5:]]
+			pt, ok := st.nodeProp(edge.Tail, d[5:])
 			if !ok {
 				return fmt.Errorf("core: dependency %s not materialised", d)
 			}
 			deps[i] = depSource{endpoint: 1, pt: pt}
 		case len(d) > 5 && d[:5] == "head.":
-			pt, ok := st.nodeProps[edge.Head][d[5:]]
+			pt, ok := st.nodeProp(edge.Head, d[5:])
 			if !ok {
 				return fmt.Errorf("core: dependency %s not materialised", d)
 			}
 			deps[i] = depSource{endpoint: 2, pt: pt}
 		default:
-			pt, ok := st.edgeProps[edgeName][d]
+			pt, ok := st.edgeProp(edgeName, d)
 			if !ok {
 				return fmt.Errorf("core: dependency %s.%s not materialised", edgeName, d)
 			}
@@ -556,10 +583,7 @@ func (e *Engine) genEdgeProperty(st *runState, edgeName, propName string) error 
 	}, len(deps)); err != nil {
 		return err
 	}
-	if st.edgeProps[edgeName] == nil {
-		st.edgeProps[edgeName] = map[string]*table.PropertyTable{}
-	}
-	st.edgeProps[edgeName][propName] = pt
+	st.setEdgeProp(edgeName, propName, pt)
 	return nil
 }
 

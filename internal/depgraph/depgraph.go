@@ -94,9 +94,17 @@ type CountSource struct {
 	Edge string // edge type for the edge-derived kinds
 }
 
-// Plan is the ordered task list plus sizing rules.
+// Plan is the task DAG plus sizing rules. Tasks is in a
+// dependency-respecting (topological) order, so a sequential executor
+// can simply walk it; Deps exposes the per-task dependency edges so a
+// concurrent executor can dispatch every task whose dependencies are
+// satisfied without waiting for unrelated ones.
 type Plan struct {
 	Tasks []Task
+	// Deps[i] lists the indices (into Tasks) of the tasks that must
+	// complete before Tasks[i] may run. Entries are deduplicated and,
+	// because Tasks is topologically ordered, always smaller than i.
+	Deps [][]int
 	// Counts maps node type name -> how to obtain its instance count.
 	Counts map[string]CountSource
 }
@@ -139,9 +147,11 @@ func Analyze(s *schema.Schema) (*Plan, error) {
 		}
 	}
 
-	// Edges of the dependency graph: dep -> dependent.
+	// Edges of the dependency graph: dep -> dependent, deduplicated so
+	// Deps and the indegrees stay consistent for the scheduler.
 	adj := make([][]int, len(tasks))
 	indeg := make([]int, len(tasks))
+	haveEdge := map[[2]int]bool{}
 	addDep := func(from, to Task) error {
 		fi, ok := index[from.ID()]
 		if !ok {
@@ -151,6 +161,10 @@ func Analyze(s *schema.Schema) (*Plan, error) {
 		if !ok {
 			return fmt.Errorf("depgraph: internal: missing task %s", to.ID())
 		}
+		if haveEdge[[2]int{fi, ti}] {
+			return nil
+		}
+		haveEdge[[2]int{fi, ti}] = true
 		adj[fi] = append(adj[fi], ti)
 		indeg[ti]++
 		return nil
@@ -190,9 +204,14 @@ func Analyze(s *schema.Schema) (*Plan, error) {
 		st := Task{Kind: TaskStructure, Type: e.Name}
 		mt := Task{Kind: TaskMatch, Type: e.Name}
 		// A fused edge generates structure and the correlated head
-		// property together, so the tail property must exist first.
+		// property together, so the tail property must exist first — and
+		// the head property task materialises the fused column, so it
+		// must come after the structure task that mints it.
 		if e.Correlation != nil && e.Correlation.Fused {
 			if err := addDep(Task{Kind: TaskProperty, Type: e.Tail, Prop: e.Correlation.TailProperty}, st); err != nil {
+				return nil, err
+			}
+			if err := addDep(st, Task{Kind: TaskProperty, Type: e.Head, Prop: e.Correlation.HeadProperty}); err != nil {
 				return nil, err
 			}
 		}
@@ -213,9 +232,23 @@ func Analyze(s *schema.Schema) (*Plan, error) {
 				}
 			}
 		}
-		// Match follows structure and the correlated property tables.
+		// Match follows structure and the correlated property tables. It
+		// also resolves both endpoint counts, so any structure task that
+		// sizes an endpoint domain must have completed (the sequential
+		// executor got this for free from tie-break ordering; the
+		// concurrent one needs the edge to be explicit).
 		if err := addDep(st, mt); err != nil {
 			return nil, err
+		}
+		if cd := countDep(e.Tail); cd != nil {
+			if err := addDep(*cd, mt); err != nil {
+				return nil, err
+			}
+		}
+		if cd := countDep(e.Head); cd != nil {
+			if err := addDep(*cd, mt); err != nil {
+				return nil, err
+			}
 		}
 		if c := e.Correlation; c != nil {
 			if c.Property != "" {
@@ -256,11 +289,26 @@ func Analyze(s *schema.Schema) (*Plan, error) {
 		}
 	}
 
-	order, err := kahn(tasks, adj, indeg)
+	perm, err := kahn(tasks, adj, indeg)
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Tasks: order, Counts: counts}, nil
+	ordered := make([]Task, len(perm))
+	pos := make([]int, len(perm)) // original index -> output index
+	for out, orig := range perm {
+		ordered[out] = tasks[orig]
+		pos[orig] = out
+	}
+	deps := make([][]int, len(perm))
+	for orig, dependents := range adj {
+		for _, t := range dependents {
+			deps[pos[t]] = append(deps[pos[t]], pos[orig])
+		}
+	}
+	for i := range deps {
+		sort.Ints(deps[i])
+	}
+	return &Plan{Tasks: ordered, Deps: deps, Counts: counts}, nil
 }
 
 // resolveCounts determines every node type's count source, preferring
@@ -326,8 +374,9 @@ func resolveCounts(s *schema.Schema) (map[string]CountSource, error) {
 }
 
 // kahn topologically sorts the task graph, breaking ties by pipeline
-// stage then task id for deterministic plans.
-func kahn(tasks []Task, adj [][]int, indeg []int) ([]Task, error) {
+// stage then task id for deterministic plans. It returns the ordered
+// original indices so the caller can remap the dependency edges.
+func kahn(tasks []Task, adj [][]int, indeg []int) ([]int, error) {
 	ready := make([]int, 0, len(tasks))
 	for i, d := range indeg {
 		if d == 0 {
@@ -344,11 +393,11 @@ func kahn(tasks []Task, adj [][]int, indeg []int) ([]Task, error) {
 		})
 	}
 	sortReady()
-	out := make([]Task, 0, len(tasks))
+	out := make([]int, 0, len(tasks))
 	for len(ready) > 0 {
 		i := ready[0]
 		ready = ready[1:]
-		out = append(out, tasks[i])
+		out = append(out, i)
 		changed := false
 		for _, j := range adj[i] {
 			indeg[j]--

@@ -257,3 +257,54 @@ func TestChainedInference(t *testing.T) {
 		t.Errorf("Reply source = %+v", src)
 	}
 }
+
+// TestDepsExposed: the plan must carry the task DAG itself, not just a
+// topological order, with edges for every dependency the executor
+// relies on.
+func TestDepsExposed(t *testing.T) {
+	plan, err := Analyze(paperSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Deps) != len(plan.Tasks) {
+		t.Fatalf("Deps has %d entries for %d tasks", len(plan.Deps), len(plan.Tasks))
+	}
+	hasDep := func(task, on string) bool {
+		ti := pos(t, plan, task)
+		oi := pos(t, plan, on)
+		for _, d := range plan.Deps[ti] {
+			if d == oi {
+				return true
+			}
+		}
+		return false
+	}
+	for _, tc := range []struct{ task, on string }{
+		{"P:Person.name", "P:Person.country"},          // conditioned property
+		{"P:Person.name", "P:Person.sex"},              // conditioned property
+		{"M:knows", "S:knows"},                         // match after structure
+		{"M:knows", "P:Person.country"},                // match after correlated property
+		{"P:Message.topic", "S:creates"},               // count inferred through 1→* head
+		{"M:creates", "S:creates"},                     // match after structure
+		{"EP:knows.creationDate", "M:knows"},           // edge property after match
+		{"EP:knows.creationDate", "P:Person.creationDate"}, // endpoint dep
+	} {
+		if !hasDep(tc.task, tc.on) {
+			t.Errorf("missing dependency %s -> %s", tc.on, tc.task)
+		}
+	}
+	// Deps must be consistent with the topological order: every
+	// dependency index precedes the dependent.
+	for i, deps := range plan.Deps {
+		seen := map[int]bool{}
+		for _, d := range deps {
+			if d >= i {
+				t.Errorf("task %s depends on later task %s", plan.Tasks[i].ID(), plan.Tasks[d].ID())
+			}
+			if seen[d] {
+				t.Errorf("task %s lists dependency %s twice", plan.Tasks[i].ID(), plan.Tasks[d].ID())
+			}
+			seen[d] = true
+		}
+	}
+}

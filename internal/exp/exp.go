@@ -117,7 +117,11 @@ func RunPanel(p Panel) (*Result, error) {
 		return nil, fmt.Errorf("exp: generating %s: %w", p.Label(), err)
 	}
 	genTime := time.Since(t0)
-	g, err := graph.FromEdgeTable(et, n)
+	// The CSR build is amortised across panels: benchmarks call RunPanel
+	// in a loop, and the builder pool reuses deg/offs/adj between runs.
+	gb := graph.GetBuilder()
+	defer graph.PutBuilder(gb)
+	g, err := gb.FromEdgeTable(et, n)
 	if err != nil {
 		return nil, err
 	}

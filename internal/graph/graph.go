@@ -11,9 +11,20 @@ package graph
 
 import (
 	"fmt"
+	"sync"
 
 	"datasynth/internal/table"
 )
+
+// builderPool amortises CSR buffers across hot-path graph builds.
+var builderPool = sync.Pool{New: func() any { return new(Builder) }}
+
+// GetBuilder returns a pooled Builder. Release it with PutBuilder once
+// every Graph built from it is dead — the graphs alias its buffers.
+func GetBuilder() *Builder { return builderPool.Get().(*Builder) }
+
+// PutBuilder returns a builder to the pool.
+func PutBuilder(b *Builder) { builderPool.Put(b) }
 
 // Graph is an undirected graph in CSR (compressed sparse row) form.
 // Self-loops are allowed (they contribute one neighbour entry) and
@@ -35,12 +46,44 @@ func FromEdgeTable(et *table.EdgeTable, n int64) (*Graph, error) {
 }
 
 // FromEdges builds an undirected CSR graph over n nodes from parallel
-// endpoint slices.
+// endpoint slices. The graph owns freshly allocated buffers; use a
+// Builder to amortise the CSR arrays across repeated constructions.
 func FromEdges(tail, head []int64, n int64) (*Graph, error) {
+	return new(Builder).FromEdges(tail, head, n)
+}
+
+// Builder constructs CSR graphs while reusing its internal buffers
+// (degree counts, offsets, adjacency) across builds, so repeated
+// constructions — e.g. one per benchmark panel or per matching task —
+// stop reallocating the three big arrays.
+//
+// The returned *Graph aliases the builder's buffers: it is valid until
+// the next FromEdges/FromEdgeTable call on the same builder. A Builder
+// must not be used from multiple goroutines concurrently; pool builders
+// (sync.Pool) for concurrent use.
+type Builder struct {
+	deg  []int64
+	offs []int64
+	adj  []int64
+	cur  []int64
+}
+
+// FromEdgeTable is FromEdgeTable over the builder's reused buffers.
+func (b *Builder) FromEdgeTable(et *table.EdgeTable, n int64) (*Graph, error) {
+	if err := et.Validate(n, n); err != nil {
+		return nil, err
+	}
+	return b.FromEdges(et.Tail, et.Head, n)
+}
+
+// FromEdges is FromEdges over the builder's reused buffers.
+func (b *Builder) FromEdges(tail, head []int64, n int64) (*Graph, error) {
 	if len(tail) != len(head) {
 		return nil, fmt.Errorf("graph: ragged edge list (%d tails, %d heads)", len(tail), len(head))
 	}
-	deg := make([]int64, n)
+	b.deg = growInt64(b.deg, n)
+	deg := b.deg
+	clear(deg)
 	for i := range tail {
 		t, h := tail[i], head[i]
 		if t < 0 || t >= n || h < 0 || h >= n {
@@ -51,12 +94,16 @@ func FromEdges(tail, head []int64, n int64) (*Graph, error) {
 			deg[h]++
 		}
 	}
-	offs := make([]int64, n+1)
+	b.offs = growInt64(b.offs, n+1)
+	offs := b.offs
+	offs[0] = 0
 	for v := int64(0); v < n; v++ {
 		offs[v+1] = offs[v] + deg[v]
 	}
-	adj := make([]int64, offs[n])
-	cur := make([]int64, n)
+	b.adj = growInt64(b.adj, offs[n])
+	adj := b.adj
+	b.cur = growInt64(b.cur, n)
+	cur := b.cur
 	copy(cur, offs[:n])
 	for i := range tail {
 		t, h := tail[i], head[i]
@@ -68,6 +115,15 @@ func FromEdges(tail, head []int64, n int64) (*Graph, error) {
 		}
 	}
 	return &Graph{n: n, offs: offs, adj: adj, mEdges: int64(len(tail))}, nil
+}
+
+// growInt64 returns buf resized to n entries, reallocating only when
+// the capacity is insufficient. Contents are unspecified.
+func growInt64(buf []int64, n int64) []int64 {
+	if int64(cap(buf)) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
 }
 
 // N returns the number of nodes.

@@ -156,7 +156,32 @@ func MatchBipartite(et *table.EdgeTable, nTail, nHead int64, tailRowLabels, head
 	cntH := make([]int64, kh)
 	cntT := make([]int64, kt)
 	var touched []int
+	// Scratch for pickGroup's per-placement scores, sized for either
+	// side and reused across the whole stream; the delta closures are
+	// likewise hoisted out of the loop (they read the loop state through
+	// captured variables), so placements allocate nothing per node.
+	scratch := make([]float64, max(kt, kh))
 	rnd := xrand.NewStream(opt.Seed).DeriveStream("bip-unconstrained")
+
+	var scale float64
+	tailDelta := func(t int) float64 {
+		var d float64
+		for _, j := range touched {
+			c := float64(cntH[j])
+			a := cur[t*kh+j] - scale*tw[t*kh+j]
+			d += c * (2*a + c)
+		}
+		return d
+	}
+	headDelta := func(h int) float64 {
+		var d float64
+		for _, i := range touched {
+			c := float64(cntT[i])
+			a := cur[i*kh+h] - scale*tw[i*kh+h]
+			d += c * (2*a + c)
+		}
+		return d
+	}
 
 	for _, x := range order {
 		if x < nTail {
@@ -175,16 +200,8 @@ func MatchBipartite(et *table.EdgeTable, nTail, nHead int64, tailRowLabels, head
 			for _, j := range touched {
 				cv += float64(cntH[j])
 			}
-			scale := placedEdges + cv
-			best := pickGroup(kt, usedT, capT, func(t int) float64 {
-				var d float64
-				for _, j := range touched {
-					c := float64(cntH[j])
-					a := cur[t*kh+j] - scale*tw[t*kh+j]
-					d += c * (2*a + c)
-				}
-				return d
-			}, len(touched) > 0, opt.Balance, rnd, x)
+			scale = placedEdges + cv
+			best := pickGroup(kt, usedT, capT, tailDelta, len(touched) > 0, opt.Balance, rnd, x, scratch)
 			if best < 0 {
 				return nil, fmt.Errorf("match: no feasible tail group for node %d", v)
 			}
@@ -210,16 +227,8 @@ func MatchBipartite(et *table.EdgeTable, nTail, nHead int64, tailRowLabels, head
 			for _, i := range touched {
 				cv += float64(cntT[i])
 			}
-			scale := placedEdges + cv
-			best := pickGroup(kh, usedH, capH, func(h int) float64 {
-				var d float64
-				for _, i := range touched {
-					c := float64(cntT[i])
-					a := cur[i*kh+h] - scale*tw[i*kh+h]
-					d += c * (2*a + c)
-				}
-				return d
-			}, len(touched) > 0, opt.Balance, rnd, x)
+			scale = placedEdges + cv
+			best := pickGroup(kh, usedH, capH, headDelta, len(touched) > 0, opt.Balance, rnd, x, scratch)
 			if best < 0 {
 				return nil, fmt.Errorf("match: no feasible head group for node %d", v)
 			}
@@ -256,8 +265,10 @@ func MatchBipartite(et *table.EdgeTable, nTail, nHead int64, tailRowLabels, head
 
 // pickGroup applies SBM-Part's placement rule over one side's groups.
 // Neighbour-less nodes are placed pseudo-randomly weighted by remaining
-// capacity (see SBMPart.placeUnconstrained for the rationale).
-func pickGroup(k int, used, caps []int64, delta func(t int) float64, hasNeighbors, balance bool, rnd xrand.Stream, node int64) int64 {
+// capacity (see SBMPart.placeUnconstrained for the rationale). scratch
+// must hold at least k entries; it is caller-owned so the per-placement
+// score buffer is reused across the whole stream.
+func pickGroup(k int, used, caps []int64, delta func(t int) float64, hasNeighbors, balance bool, rnd xrand.Stream, node int64, scratch []float64) int64 {
 	if !hasNeighbors {
 		var totalRem int64
 		for t := 0; t < k; t++ {
@@ -279,7 +290,7 @@ func pickGroup(k int, used, caps []int64, delta func(t int) float64, hasNeighbor
 		}
 		return -1
 	}
-	deltas := make([]float64, k)
+	deltas := scratch[:k]
 	maxDelta := math.Inf(-1)
 	feasible := false
 	for t := 0; t < k; t++ {

@@ -93,7 +93,9 @@ type Result struct {
 // The EdgeTable is not modified; apply Result.Mapping with et.Remap to
 // materialise the match.
 func MatchProperty(et *table.EdgeTable, n int64, rowLabels []int64, target *stats.Joint, opt Options) (*Result, error) {
-	g, err := graph.FromEdgeTable(et, n)
+	gb := graph.GetBuilder()
+	defer graph.PutBuilder(gb)
+	g, err := gb.FromEdgeTable(et, n)
 	if err != nil {
 		return nil, err
 	}

@@ -60,6 +60,12 @@ type SBMPart struct {
 	// merely "for convenience") — and is self-correcting. Kept as an
 	// ablation switch; see BenchmarkAblationTarget.
 	FinalTarget bool
+
+	// deltas is per-placement scratch for placeByFrobenius, hoisted out
+	// of the per-node loop so streaming a graph allocates nothing per
+	// node. Its presence makes an SBMPart instance safe for repeated
+	// but not concurrent Partition calls.
+	deltas []float64
 }
 
 // NewSBMPart returns a balanced SBM-Part instance.
@@ -228,8 +234,12 @@ func (p *SBMPart) placeUnconstrained(used []int64, rnd xrand.Stream, v int64) in
 func (p *SBMPart) placeByFrobenius(cur, targetP []float64, scale float64, used, cnt []int64, touched []int) int64 {
 	k := p.K
 	// Pass 1: compute Δ_t for all feasible t; track maxΔ for the gain
-	// transform.
-	deltas := make([]float64, k)
+	// transform. The scratch lives on the instance: one allocation per
+	// partitioner, not one per streamed node.
+	if cap(p.deltas) < k {
+		p.deltas = make([]float64, k)
+	}
+	deltas := p.deltas[:k]
 	feasible := false
 	maxDelta := math.Inf(-1)
 	for t := 0; t < k; t++ {

@@ -528,3 +528,32 @@ func TestFrobeniusDeltaMatchesNaive(t *testing.T) {
 		t.Errorf("final Frobenius distance %v too large (m=%v)", naive, m)
 	}
 }
+
+// TestPartitionScratchReuse: the hoisted per-instance deltas scratch
+// must not leak state between Partition calls — repeated runs over the
+// same input give identical assignments.
+func TestPartitionScratchReuse(t *testing.T) {
+	_, g := twoCliques(t, 100)
+	target, _ := stats.HomophilyJoint([]int64{100, 100}, 0.7)
+	p, err := NewSBMPart(target, []int64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed = 9
+	order := RandomOrder(200, 4)
+	first, err := p.Partition(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := p.Partition(g, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range first {
+			if first[v] != again[v] {
+				t.Fatalf("run %d: node %d assigned %d, first run gave %d", run, v, again[v], first[v])
+			}
+		}
+	}
+}

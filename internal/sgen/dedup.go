@@ -1,0 +1,224 @@
+package sgen
+
+import (
+	"datasynth/internal/table"
+)
+
+// edgeDedup rejects duplicate undirected edges during configuration-
+// model wiring. The old implementation probed a map[uint64]struct{} on
+// every candidate pair — a hash plus amortised allocation on the
+// hottest loop of LFR. This one is allocation-free at steady state: a
+// round's candidates are packed into (min<<32|max) keys, radix-sorted
+// together with their stream positions, compacted against the sorted
+// set of already-accepted keys, and the winners merged back in. All
+// buffers are reused across rounds and communities.
+//
+// Semantics are exactly those of the map: within a round the earliest
+// occurrence of a key wins, every later occurrence fails, and a key
+// accepted in any earlier round (since the last reset) always fails.
+type edgeDedup struct {
+	accepted []uint64 // sorted keys of all accepted edges
+	keys     []uint64 // scratch: one round's valid candidate keys, stream order
+	idx      []int32  // scratch: parallel pair indices
+	tmpK     []uint64 // scratch: radix ping-pong
+	tmpI     []int32  // scratch: radix ping-pong
+	count    []int32  // scratch: radix digit counts (1<<16)
+	win      []bool   // scratch: per-pair winner flag
+	newKeys  []uint64 // scratch: winner keys of the round (sorted)
+	merged   []uint64 // scratch: merge target for accepted ∪ newKeys
+
+	// Direct-addressed dedup for phases with a small key universe
+	// (intra-community wiring: at most size² local pair keys). A
+	// generation stamp makes resets O(1) instead of clearing the table.
+	stamp []int32
+	gen   int32
+}
+
+func newEdgeDedup(capHint int64) *edgeDedup {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &edgeDedup{accepted: make([]uint64, 0, capHint)}
+}
+
+// reset clears the accepted set (buffers are kept). Callers reset
+// between wiring phases whose key spaces cannot collide — e.g. the
+// per-community intra phases (both endpoints inside one community) and
+// the inter phase (endpoints in different communities) — which keeps
+// every merge proportional to the phase's own edge count instead of
+// the whole graph's.
+func (d *edgeDedup) reset() { d.accepted = d.accepted[:0] }
+
+// resetDirect prepares the stamp table for a phase whose pair keys lie
+// in [0, universe).
+func (d *edgeDedup) resetDirect(universe int) {
+	if cap(d.stamp) < universe {
+		d.stamp = make([]int32, universe)
+		d.gen = 0
+	}
+	d.stamp = d.stamp[:universe]
+	d.gen++
+}
+
+// seenDirect records key and reports whether it was already seen since
+// the last resetDirect.
+func (d *edgeDedup) seenDirect(key int64) bool {
+	if d.stamp[key] == d.gen {
+		return true
+	}
+	d.stamp[key] = d.gen
+	return false
+}
+
+func packEdgeKey(a, b int64) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// pairRound resolves one pairing round: adjacent entries of pending
+// form candidate pairs; winning pairs are appended to et in stream
+// order and the failing stubs are compacted in place and returned for
+// the next round. ok, when non-nil, is the extra acceptance predicate.
+func (d *edgeDedup) pairRound(et *table.EdgeTable, pending []int64, ok func(a, b int64) bool) []int64 {
+	nPairs := len(pending) / 2
+	if cap(d.win) < nPairs {
+		d.win = make([]bool, nPairs)
+	}
+	win := d.win[:nPairs]
+	clear(win)
+
+	// Valid candidates only; self-loops and ok-rejected pairs never win
+	// and go straight back to the retry pool during compaction.
+	d.keys = d.keys[:0]
+	d.idx = d.idx[:0]
+	for p := 0; p < nPairs; p++ {
+		a, b := pending[2*p], pending[2*p+1]
+		if a == b || (ok != nil && !ok(a, b)) {
+			continue
+		}
+		d.keys = append(d.keys, packEdgeKey(a, b))
+		d.idx = append(d.idx, int32(p))
+	}
+	keys, idx := d.sortByKey(d.keys, d.idx)
+
+	// Scan runs of equal keys against the accepted set (two-pointer:
+	// both are sorted). The earliest stream position of a fresh key wins
+	// its pair — radix stability keeps equal keys in stream order.
+	d.newKeys = d.newKeys[:0]
+	ai := 0
+	for i := 0; i < len(keys); {
+		key := keys[i]
+		j := i + 1
+		for j < len(keys) && keys[j] == key {
+			j++
+		}
+		for ai < len(d.accepted) && d.accepted[ai] < key {
+			ai++
+		}
+		if ai == len(d.accepted) || d.accepted[ai] != key {
+			win[idx[i]] = true
+			d.newKeys = append(d.newKeys, key)
+		}
+		i = j
+	}
+
+	// Emit winners and compact the failing stubs, both in stream order.
+	w := 0
+	for p := 0; p < nPairs; p++ {
+		a, b := pending[2*p], pending[2*p+1]
+		if win[p] {
+			if a > b {
+				a, b = b, a
+			}
+			et.Add(a, b)
+			continue
+		}
+		pending[w], pending[w+1] = a, b
+		w += 2
+	}
+
+	// Merge the round's winners (already sorted: they were collected in
+	// key order) into the accepted set.
+	if len(d.newKeys) > 0 {
+		need := len(d.accepted) + len(d.newKeys)
+		if cap(d.merged) < need {
+			d.merged = make([]uint64, 0, need+need/2)
+		}
+		m := d.merged[:0]
+		i, j := 0, 0
+		for i < len(d.accepted) && j < len(d.newKeys) {
+			if d.accepted[i] < d.newKeys[j] {
+				m = append(m, d.accepted[i])
+				i++
+			} else {
+				m = append(m, d.newKeys[j])
+				j++
+			}
+		}
+		m = append(m, d.accepted[i:]...)
+		m = append(m, d.newKeys[j:]...)
+		d.accepted, d.merged = m, d.accepted
+	}
+	return pending[:w]
+}
+
+// sortByKey stable-sorts (keys, idx) by key with an LSD radix sort,
+// ping-ponging between the input slices and the scratch buffers; it
+// returns whichever pair holds the result. Digit width adapts to the
+// round size so tiny community rounds don't pay for clearing a 64k
+// count table, and passes stop at the highest set byte of the largest
+// key.
+func (d *edgeDedup) sortByKey(keys []uint64, idx []int32) ([]uint64, []int32) {
+	n := len(keys)
+	if n < 2 {
+		return keys, idx
+	}
+	if cap(d.tmpK) < n {
+		d.tmpK = make([]uint64, n)
+		d.tmpI = make([]int32, n)
+	}
+	if d.count == nil {
+		d.count = make([]int32, 1<<16)
+	}
+	var digitBits uint = 8
+	if n >= 1<<12 {
+		digitBits = 16
+	}
+	radix := uint64(1)<<digitBits - 1
+	var maxKey uint64
+	for _, k := range keys {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	src, dst := keys, d.tmpK[:n]
+	srcI, dstI := idx, d.tmpI[:n]
+	for shift := uint(0); ; shift += digitBits {
+		count := d.count[:radix+1]
+		clear(count)
+		for _, k := range src {
+			count[(k>>shift)&radix]++
+		}
+		var sum int32
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i, k := range src {
+			digit := (k >> shift) & radix
+			p := count[digit]
+			count[digit] = p + 1
+			dst[p] = k
+			dstI[p] = srcI[i]
+		}
+		src, dst = dst, src
+		srcI, dstI = dstI, srcI
+		if shift+digitBits >= 64 || maxKey>>(shift+digitBits) == 0 {
+			break
+		}
+	}
+	return src, srcI
+}

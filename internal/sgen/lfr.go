@@ -210,43 +210,65 @@ func (l *LFR) Run(n int64) (*table.EdgeTable, error) {
 
 	// 5. Wire intra-community edges with a per-community configuration
 	// model, then inter-community edges with a global configuration
-	// model over the residual stubs.
+	// model over the residual stubs. Duplicate rejection goes through a
+	// batched sort-and-compact dedup (see edgeDedup) instead of a
+	// per-edge hash map; the accepted edge set is identical.
 	et := table.NewEdgeTable("lfr", int64(float64(n)*l.AvgDegree/2))
-	members := make([][]int64, len(sizes))
+	dd := newEdgeDedup(int64(float64(n) * l.AvgDegree / 2))
+
+	// Community member lists as one CSR block instead of len(sizes)
+	// independently grown slices.
+	placed := make([]int64, len(sizes))
 	for v := int64(0); v < n; v++ {
-		members[commOf[v]] = append(members[commOf[v]], v)
+		placed[commOf[v]]++
 	}
-	seen := make(map[uint64]struct{}, int64(float64(n)*l.AvgDegree/2))
-	addEdge := func(a, b int64) bool {
-		if a == b {
-			return false
-		}
-		if a > b {
-			a, b = b, a
-		}
-		key := uint64(a)<<32 | uint64(b)
-		if _, dup := seen[key]; dup {
-			return false
-		}
-		seen[key] = struct{}{}
-		et.Add(a, b)
-		return true
+	memberOffs := make([]int64, len(sizes)+1)
+	for c := range sizes {
+		memberOffs[c+1] = memberOffs[c] + placed[c]
+	}
+	memberBuf := make([]int64, n)
+	fill := make([]int64, len(sizes))
+	copy(fill, memberOffs[:len(sizes)])
+	for v := int64(0); v < n; v++ {
+		c := commOf[v]
+		memberBuf[fill[c]] = v
+		fill[c]++
 	}
 
-	interStubs := make([]int64, 0, n)
-	for c := range members {
-		stubs := make([]int64, 0, len(members[c])*l.MaxDegree/4)
-		for _, v := range members[c] {
+	var stubs []int64
+	for c := range sizes {
+		// Intra edges of community c can only collide with each other
+		// (both endpoints lie in c), so each community dedups afresh —
+		// over *local* member indices, whose tiny key universe (size²)
+		// fits a direct-addressed stamp table at the default community
+		// bounds. User-configured giant communities fall back to the
+		// sorted-key batch dedup, whose memory scales with the edge
+		// count instead of size².
+		members := memberBuf[memberOffs[c]:memberOffs[c+1]]
+		size := int64(len(members))
+		direct := size*size <= directDedupMaxUniverse
+		stubs = stubs[:0]
+		for li, v := range members {
+			id := v
+			if direct {
+				id = int64(li)
+			}
 			k := intra[v]
 			for j := 0; j < k; j++ {
-				stubs = append(stubs, v)
+				stubs = append(stubs, id)
 			}
 		}
 		if len(stubs)%2 == 1 {
 			stubs = stubs[:len(stubs)-1]
 		}
-		pairStubs(q, stubs, addEdge, 8)
+		if direct {
+			pairStubsDirect(q, dd, et, stubs, members, 8)
+		} else {
+			dd.reset()
+			pairStubsFiltered(q, dd, et, stubs, 8, nil)
+		}
 	}
+	interStubs := make([]int64, 0, n)
 	for v := int64(0); v < n; v++ {
 		for j := 0; j < deg[v]-intra[v]; j++ {
 			interStubs = append(interStubs, v)
@@ -257,30 +279,70 @@ func (l *LFR) Run(n int64) (*table.EdgeTable, error) {
 	}
 	// For inter stubs, additionally reject same-community pairs (they
 	// would inflate µ^-1); after the retry budget they are dropped.
-	pairStubsFiltered(q, interStubs, addEdge, 8, func(a, b int64) bool {
+	// Inter pairs span two communities, so they can never collide with
+	// an intra edge — dedup restarts once more.
+	dd.reset()
+	pairStubsFiltered(q, dd, et, interStubs, 8, func(a, b int64) bool {
 		return commOf[a] != commOf[b]
 	})
 	return et, nil
 }
 
-// pairStubs shuffles stubs and pairs adjacent entries; failed pairs
-// (self-loops, duplicates) are re-shuffled up to `rounds` times.
-func pairStubs(q *seq, stubs []int64, add func(a, b int64) bool, rounds int) {
-	pairStubsFiltered(q, stubs, add, rounds, func(a, b int64) bool { return true })
-}
+// directDedupMaxUniverse bounds the stamp table to 4M entries (16 MB
+// of int32): communities up to ~2048 nodes use direct addressing,
+// larger ones take the sorted-key path.
+const directDedupMaxUniverse = 1 << 22
 
-func pairStubsFiltered(q *seq, stubs []int64, add func(a, b int64) bool, rounds int, ok func(a, b int64) bool) {
+// pairStubsDirect wires one community's stubs (local member indices):
+// shuffle, pair adjacent entries, reject self-loops and duplicates via
+// the stamp table, and re-shuffle failed pairs up to `rounds` times.
+// Shuffling local indices consumes the same RNG draws as shuffling the
+// global ids did, and the local→global mapping is a bijection, so the
+// emitted edge sequence is unchanged.
+func pairStubsDirect(q *seq, dd *edgeDedup, et *table.EdgeTable, stubs []int64, members []int64, rounds int) {
+	size := int64(len(members))
+	dd.resetDirect(int(size * size))
 	pending := stubs
 	for r := 0; r < rounds && len(pending) >= 2; r++ {
 		q.ShuffleInt64(pending)
-		var failed []int64
+		w := 0
 		for i := 0; i+1 < len(pending); i += 2 {
-			a, b := pending[i], pending[i+1]
-			if !ok(a, b) || !add(a, b) {
-				failed = append(failed, a, b)
+			la, lb := pending[i], pending[i+1]
+			won := false
+			if la != lb {
+				ka, kb := la, lb
+				if ka > kb {
+					ka, kb = kb, ka
+				}
+				if !dd.seenDirect(ka*size + kb) {
+					a, b := members[la], members[lb]
+					if a > b {
+						a, b = b, a
+					}
+					et.Add(a, b)
+					won = true
+				}
+			}
+			if !won {
+				pending[w], pending[w+1] = la, lb
+				w += 2
 			}
 		}
-		pending = failed
+		pending = pending[:w]
+	}
+}
+
+// pairStubsFiltered shuffles stubs (global node ids) and pairs adjacent
+// entries, with an extra per-pair acceptance predicate (nil means
+// accept all). Each round is resolved in batch by edgeDedup.pairRound
+// with semantics identical to the former per-edge map: the first
+// occurrence of an edge in stream order wins, later duplicates (and
+// ok-rejected or self-loop pairs) are re-shuffled into the next round.
+func pairStubsFiltered(q *seq, dd *edgeDedup, et *table.EdgeTable, stubs []int64, rounds int, ok func(a, b int64) bool) {
+	pending := stubs
+	for r := 0; r < rounds && len(pending) >= 2; r++ {
+		q.ShuffleInt64(pending)
+		pending = dd.pairRound(et, pending, ok)
 	}
 }
 

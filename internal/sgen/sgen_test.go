@@ -475,3 +475,46 @@ func TestNumNodesForEdgesRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestLFRLargeCommunityFallback: communities whose size² exceeds the
+// direct-dedup stamp budget take the sorted-key path; the wiring must
+// stay deterministic and free of self-loops and duplicate edges.
+func TestLFRLargeCommunityFallback(t *testing.T) {
+	build := func() *table.EdgeTable {
+		l := NewLFR(3)
+		l.MinCommunity = 2100
+		l.MaxCommunity = 2200
+		et, err := l.Run(4300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return et
+	}
+	et := build()
+	if et.Len() == 0 {
+		t.Fatal("no edges")
+	}
+	seen := map[[2]int64]bool{}
+	for i := range et.Tail {
+		a, b := et.Tail[i], et.Head[i]
+		if a == b {
+			t.Fatalf("self-loop at edge %d (%d)", i, a)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int64{a, b}] {
+			t.Fatalf("duplicate edge (%d,%d)", a, b)
+		}
+		seen[[2]int64{a, b}] = true
+	}
+	again := build()
+	if again.Len() != et.Len() {
+		t.Fatalf("non-deterministic: %d vs %d edges", et.Len(), again.Len())
+	}
+	for i := range et.Tail {
+		if et.Tail[i] != again.Tail[i] || et.Head[i] != again.Head[i] {
+			t.Fatalf("non-deterministic at edge %d", i)
+		}
+	}
+}
