@@ -58,6 +58,9 @@ func main() {
 	planOnly := flag.Bool("plan", false, "print the dependency-analysis task plan and exit")
 	example := flag.Bool("example", false, "print an example schema and exit")
 	verbose := flag.Bool("v", false, "log task progress")
+	workers := flag.Int("workers", 0, "scheduler and intra-task worker bound (0 = NumCPU, 1 = sequential); output is byte-identical at any count")
+	window := flag.Int("window", 0, "SBM-Part stream window (0 = auto, negative = serial); output is byte-identical at any setting")
+	timings := flag.Bool("timings", false, "print the per-task timing report and critical path after generation")
 	flag.Parse()
 
 	if *example {
@@ -88,6 +91,8 @@ func main() {
 		return
 	}
 	eng := core.New(s)
+	eng.Workers = *workers
+	eng.MatchWindow = *window
 	if *verbose {
 		eng.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "datasynth: "+format+"\n", args...)
@@ -96,6 +101,9 @@ func main() {
 	d, err := eng.Generate()
 	if err != nil {
 		fatal(err)
+	}
+	if *timings {
+		fmt.Fprint(os.Stderr, eng.Report().String())
 	}
 	if *jsonl {
 		err = d.WriteDirJSONL(*out)

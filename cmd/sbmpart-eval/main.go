@@ -26,22 +26,33 @@ func main() {
 	timing := flag.Bool("timing", false, "run the SBM-Part timing experiment")
 	musweep := flag.Bool("musweep", false, "run the structure-sensitivity sweep (fidelity vs LFR mixing)")
 	passes := flag.Int("passes", 0, "re-streaming refinement passes for figure panels")
+	window := flag.Int("window", 0, "SBM-Part stream window (0 = auto, negative = serial); output is byte-identical at any setting")
+	workers := flag.Int("workers", 0, "intra-task worker bound for LFR sharding and window scans (0 = NumCPU, 1 = serial)")
 	all := flag.Bool("all", false, "run every experiment")
 	full := flag.Bool("full", false, "use the paper's full sizes (LFR-1M, RMAT-22); slow")
 	out := flag.String("out", "results", "output directory for TSV series")
 	capN := flag.Int64("capn", 20000, "graph size for the capability measurements")
 	flag.Parse()
 
+	tune := func(panels []exp.Panel) []exp.Panel {
+		panels = withPasses(panels, *passes)
+		for i := range panels {
+			panels[i].Window = *window
+			panels[i].Workers = *workers
+		}
+		return panels
+	}
+
 	ran := false
 	if *all || *figure == 3 {
 		ran = true
-		if err := runFigure(3, withPasses(exp.Figure3Panels(*full), *passes), *out); err != nil {
+		if err := runFigure(3, tune(exp.Figure3Panels(*full)), *out); err != nil {
 			fatal(err)
 		}
 	}
 	if *all || *figure == 4 {
 		ran = true
-		if err := runFigure(4, withPasses(exp.Figure4Panels(*full), *passes), *out); err != nil {
+		if err := runFigure(4, tune(exp.Figure4Panels(*full)), *out); err != nil {
 			fatal(err)
 		}
 	}

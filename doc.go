@@ -29,6 +29,36 @@
 // per-edge hash map, and CSR graph construction goes through a pooled
 // reusable builder (internal/graph.Builder).
 //
+// # Intra-task parallelism and the determinism contract
+//
+// Beyond task-level scheduling, the two largest tasks shard
+// internally, under one invariant: the dataset is a pure function of
+// the schema seed — byte-identical at every worker count and window
+// size, verified end to end by hashing exported CSV/JSONL files
+// (internal/core TestExportedDatasetGoldenDeterminism).
+//
+//   - Windowed SBM-Part (internal/match): the node stream is processed
+//     in fixed-size windows. A parallel scan phase classifies every
+//     window node's neighbourhood against a frozen snapshot of the
+//     partial assignment; a sequential commit phase patches in the
+//     neighbours placed earlier in the same window — reconstructing
+//     exactly the counts, in exactly the floating-point summation
+//     order, the serial stream would see — and places nodes in stream
+//     order. Knobs: SBMPart.Window / Options.Window (0 = auto,
+//     <= 1 = serial) and Workers; cmd flags -window / -workers.
+//   - Sharded LFR wiring (internal/sgen): once community sizes and
+//     memberships are fixed, each community's internal configuration
+//     model is an independent shard. Shard c draws from its own RNG
+//     stream keyed off (seed, "lfr.intra", c) via xrand's DeriveN,
+//     emits into a disjoint arena range, and the ranges concatenate in
+//     community order — so any number of workers, finishing in any
+//     order, produce the same edge table.
+//
+// Every Generate also records per-task wall times and derives the
+// plan's critical path (Engine.Report, datasynth -timings): the
+// dependency chain that bounds wall time at infinite workers, i.e.
+// where further intra-task sharding pays off.
+//
 // The library lives under internal/ (see README.md for the map);
 // cmd/datasynth generates datasets from DSL schemas and
 // cmd/sbmpart-eval regenerates the paper's evaluation. The benchmarks

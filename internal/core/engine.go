@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"datasynth/internal/depgraph"
 	"datasynth/internal/pgen"
@@ -45,14 +46,34 @@ type Engine struct {
 	// per-property row generation; 0 means NumCPU, 1 runs the plan
 	// strictly sequentially. The output is byte-identical at any value.
 	Workers int
+	// MatchWindow sets the stream window of the windowed-parallel
+	// SBM-Part used by match tasks: 0 picks the matcher's default
+	// (serial when the engine is single-worker), negative forces the
+	// serial stream. Every setting yields a byte-identical dataset.
+	MatchWindow int
 	// Logf, if non-nil, receives progress lines. It may be called from
 	// multiple scheduler workers concurrently.
 	Logf func(format string, args ...any)
+
+	// report of the most recent Generate, for Report().
+	reportMu sync.Mutex
+	report   *RunReport
 }
 
 // New returns an engine with the built-in generator registries.
 func New(s *schema.Schema) *Engine {
 	return &Engine{Schema: s, PGens: pgen.NewRegistry(), SGens: sgen.NewRegistry()}
+}
+
+// Report returns the per-task timing report of the most recent
+// Generate call (nil before the first successful run). The report
+// marks the plan's critical path — the dependency chain that bounds
+// wall time at any worker count — which is the place to spend further
+// intra-task parallelism.
+func (e *Engine) Report() *RunReport {
+	e.reportMu.Lock()
+	defer e.reportMu.Unlock()
+	return e.report
 }
 
 // run-state, private to one Generate call. Scheduler workers execute
@@ -228,6 +249,14 @@ func (e *Engine) runPlan(st *runState, plan *depgraph.Plan) error {
 		}
 	}
 
+	// Per-task timing slots: every worker writes only the slot of the
+	// task it executed, so no lock is needed beyond the scheduler's.
+	timings := make([]TaskTiming, n)
+	for i, t := range plan.Tasks {
+		timings[i] = TaskTiming{ID: t.ID(), Kind: t.Kind}
+	}
+	runStart := time.Now()
+
 	var (
 		mu        sync.Mutex
 		firstErr  error
@@ -255,7 +284,10 @@ func (e *Engine) runPlan(st *runState, plan *depgraph.Plan) error {
 				}
 				t := plan.Tasks[i]
 				e.logf("task %s", t.ID())
+				taskStart := time.Now()
 				err := e.runTask(st, plan, t)
+				timings[i].Start = taskStart.Sub(runStart)
+				timings[i].Duration = time.Since(taskStart)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -280,6 +312,14 @@ func (e *Engine) runPlan(st *runState, plan *depgraph.Plan) error {
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil {
+		report := buildReport(plan, timings, time.Since(runStart))
+		e.reportMu.Lock()
+		e.report = report
+		e.reportMu.Unlock()
+		e.logf("plan done: total %v, critical path %v (%d tasks)",
+			report.Total, report.CriticalPathTime, len(report.CriticalPath))
+	}
 	return firstErr
 }
 

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"datasynth/internal/depgraph"
+)
+
+// hashDir returns the SHA-256 of every regular file in dir, keyed by
+// file name.
+func hashDir(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := map[string]string{}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		f.Close()
+		hashes[ent.Name()] = hex.EncodeToString(h.Sum(nil))
+	}
+	if len(hashes) == 0 {
+		t.Fatalf("no files exported into %s", dir)
+	}
+	return hashes
+}
+
+// exportHashes generates the schema at the given worker count and
+// match window, exports it as CSV and JSONL, and returns the per-file
+// SHA-256 set.
+func exportHashes(t *testing.T, workers, window int) map[string]string {
+	t.Helper()
+	e := New(quickstartSchema())
+	e.Workers = workers
+	e.MatchWindow = window
+	d, err := e.Generate()
+	if err != nil {
+		t.Fatalf("workers=%d window=%d: %v", workers, window, err)
+	}
+	dir := t.TempDir()
+	csvDir := filepath.Join(dir, "csv")
+	jsonlDir := filepath.Join(dir, "jsonl")
+	if err := d.WriteDir(csvDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteDirJSONL(jsonlDir); err != nil {
+		t.Fatal(err)
+	}
+	hashes := map[string]string{}
+	for name, h := range hashDir(t, csvDir) {
+		hashes["csv/"+name] = h
+	}
+	for name, h := range hashDir(t, jsonlDir) {
+		hashes["jsonl/"+name] = h
+	}
+	return hashes
+}
+
+// TestExportedDatasetGoldenDeterminism is the end-to-end determinism
+// contract: a Figure-3-style schema (LFR structure + SBM-Part match +
+// parallel property fill) must export byte-identical node, edge and
+// property files — hash-verified on disk, not just in memory — at
+// every worker count and every SBM-Part window size.
+func TestExportedDatasetGoldenDeterminism(t *testing.T) {
+	ref := exportHashes(t, 1, -1) // sequential plan, serial stream
+	if len(ref) != 4 {
+		t.Fatalf("expected 4 exported files (csv+jsonl × nodes+edges), got %d", len(ref))
+	}
+	configs := []struct{ workers, window int }{
+		{1, 64},
+		{1, 1 << 20}, // whole stream in one window
+		{runtime.NumCPU(), -1},
+		{runtime.NumCPU(), 0}, // auto window
+		{runtime.NumCPU(), 64},
+		{4, 512},
+	}
+	for _, cfg := range configs {
+		got := exportHashes(t, cfg.workers, cfg.window)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d window=%d: %d files, want %d", cfg.workers, cfg.window, len(got), len(ref))
+		}
+		for name, h := range ref {
+			if got[name] != h {
+				t.Errorf("workers=%d window=%d: %s hash %s, want %s",
+					cfg.workers, cfg.window, name, got[name], h)
+			}
+		}
+	}
+}
+
+// TestRunReportCriticalPath: every Generate must record one timing per
+// task and a critical path that respects the dependency structure
+// (property → structure → match chains for the quickstart schema).
+func TestRunReportCriticalPath(t *testing.T) {
+	e := New(quickstartSchema())
+	e.Workers = 2
+	if e.Report() != nil {
+		t.Fatal("report non-nil before first Generate")
+	}
+	if _, err := e.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Report()
+	if rep == nil {
+		t.Fatal("no report after Generate")
+	}
+	plan, err := depgraph.Analyze(e.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Timings) != len(plan.Tasks) {
+		t.Fatalf("%d timings for %d tasks", len(rep.Timings), len(plan.Tasks))
+	}
+	if len(rep.CriticalPath) == 0 || rep.CriticalPathTime <= 0 {
+		t.Fatalf("empty critical path: %+v", rep.CriticalPath)
+	}
+	if rep.CriticalPathTime > rep.Total {
+		// The path is a lower bound on wall time; it can never exceed
+		// the measured total.
+		t.Fatalf("critical path %v exceeds total %v", rep.CriticalPathTime, rep.Total)
+	}
+	// The critical path must be a real dependency chain: consecutive
+	// entries linked by plan edges.
+	idx := map[string]int{}
+	for i, task := range plan.Tasks {
+		idx[task.ID()] = i
+	}
+	for i := 1; i < len(rep.CriticalPath); i++ {
+		cur, ok := idx[rep.CriticalPath[i]]
+		if !ok {
+			t.Fatalf("unknown task %q on critical path", rep.CriticalPath[i])
+		}
+		prev := idx[rep.CriticalPath[i-1]]
+		linked := false
+		for _, d := range plan.Deps[cur] {
+			if d == prev {
+				linked = true
+				break
+			}
+		}
+		if !linked {
+			t.Fatalf("critical path step %q -> %q is not a plan dependency",
+				rep.CriticalPath[i-1], rep.CriticalPath[i])
+		}
+	}
+	// Critical flags in Timings must match the path.
+	critical := 0
+	for _, tt := range rep.Timings {
+		if tt.Critical {
+			critical++
+		}
+	}
+	if critical != len(rep.CriticalPath) {
+		t.Fatalf("%d critical-flagged tasks, path has %d", critical, len(rep.CriticalPath))
+	}
+	if s := rep.String(); len(s) == 0 {
+		t.Fatal("empty report rendering")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"datasynth/internal/match"
 	"datasynth/internal/pgen"
 	"datasynth/internal/schema"
+	"datasynth/internal/sgen"
 	"datasynth/internal/stats"
 	"datasynth/internal/table"
 	"datasynth/internal/xrand"
@@ -28,6 +29,12 @@ func (e *Engine) genStructure(st *runState, plan *depgraph.Plan, edgeName string
 		g, err := e.SGens.BuildMono(edge.Structure.Name, edge.Structure.Params, seed)
 		if err != nil {
 			return err
+		}
+		// Shard-capable generators (e.g. LFR's intra-community wiring)
+		// inherit the engine's worker budget; their output is
+		// byte-identical at every worker count.
+		if ws, ok := g.(sgen.WorkerSettable); ok {
+			ws.SetWorkers(e.Workers)
 		}
 		var n int64
 		if edge.Count > 0 {
@@ -414,6 +421,8 @@ func (e *Engine) matchMonopartite(st *runState, edge *schema.EdgeType, et *table
 	// capacities come from all rows, so the mapping stays injective.
 	opt := match.DefaultOptions(seed)
 	opt.Passes = edge.Correlation.Passes
+	opt.Workers = e.Workers
+	opt.Window = e.MatchWindow
 	res, err := match.MatchProperty(et, nTail, labels, target, opt)
 	if err != nil {
 		return err

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"datasynth/internal/depgraph"
+)
+
+// Scheduler observability: every Generate records per-task wall time
+// and derives the critical path of the schema — the dependency chain
+// whose cumulative duration bounds how fast the plan can possibly run
+// at infinite worker count. The report is what drives sharding
+// decisions: a task sitting on the critical path is worth
+// parallelising internally (windowed SBM-Part, sharded LFR); a task
+// off it only costs idle-worker time.
+
+// TaskTiming is one task's measurement within a run.
+type TaskTiming struct {
+	// ID is the task identifier (depgraph.Task.ID()).
+	ID string
+	// Kind is the task's pipeline stage.
+	Kind depgraph.TaskKind
+	// Start is the task's start offset from the beginning of the run.
+	Start time.Duration
+	// Duration is the task's wall time.
+	Duration time.Duration
+	// Critical marks tasks on the run's critical path.
+	Critical bool
+}
+
+// RunReport summarises one Generate execution.
+type RunReport struct {
+	// Total is the wall time of the whole plan execution.
+	Total time.Duration
+	// Timings holds one entry per task, in plan (topological) order.
+	Timings []TaskTiming
+	// CriticalPath lists the task IDs of the longest-duration
+	// dependency chain, in execution order.
+	CriticalPath []string
+	// CriticalPathTime is the summed duration along CriticalPath — the
+	// lower bound on plan wall time at unbounded parallelism.
+	CriticalPathTime time.Duration
+}
+
+// buildReport computes the critical path from per-task durations.
+// plan.Deps[i] only references indices < i (topological order), so a
+// single forward scan computes the longest cumulative-duration chain
+// ending at every task.
+func buildReport(plan *depgraph.Plan, timings []TaskTiming, total time.Duration) *RunReport {
+	n := len(plan.Tasks)
+	finish := make([]time.Duration, n) // longest chain duration ending at i
+	pred := make([]int, n)             // predecessor on that chain
+	bestEnd, bestTime := -1, time.Duration(-1)
+	for i := 0; i < n; i++ {
+		pred[i] = -1
+		var start time.Duration
+		for _, d := range plan.Deps[i] {
+			if finish[d] > start {
+				start = finish[d]
+				pred[i] = d
+			}
+		}
+		finish[i] = start + timings[i].Duration
+		if finish[i] > bestTime {
+			bestTime = finish[i]
+			bestEnd = i
+		}
+	}
+	var path []string
+	for i := bestEnd; i >= 0; i = pred[i] {
+		timings[i].Critical = true
+		path = append(path, timings[i].ID)
+	}
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return &RunReport{
+		Total:            total,
+		Timings:          timings,
+		CriticalPath:     path,
+		CriticalPathTime: bestTime,
+	}
+}
+
+// String renders the report as a fixed-width table, slowest tasks
+// first, with critical-path tasks marked by '*'.
+func (r *RunReport) String() string {
+	if r == nil || len(r.Timings) == 0 {
+		return "run report: no tasks"
+	}
+	rows := make([]TaskTiming, len(r.Timings))
+	copy(rows, r.Timings)
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].Duration > rows[b].Duration })
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: total %v, critical path %v over %d/%d tasks\n",
+		r.Total.Round(time.Microsecond), r.CriticalPathTime.Round(time.Microsecond),
+		len(r.CriticalPath), len(r.Timings))
+	for _, t := range rows {
+		mark := " "
+		if t.Critical {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%s %-40s %12v  (start +%v)\n", mark, t.ID,
+			t.Duration.Round(time.Microsecond), t.Start.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -280,13 +280,13 @@ func TestDepsExposed(t *testing.T) {
 		return false
 	}
 	for _, tc := range []struct{ task, on string }{
-		{"P:Person.name", "P:Person.country"},          // conditioned property
-		{"P:Person.name", "P:Person.sex"},              // conditioned property
-		{"M:knows", "S:knows"},                         // match after structure
-		{"M:knows", "P:Person.country"},                // match after correlated property
-		{"P:Message.topic", "S:creates"},               // count inferred through 1→* head
-		{"M:creates", "S:creates"},                     // match after structure
-		{"EP:knows.creationDate", "M:knows"},           // edge property after match
+		{"P:Person.name", "P:Person.country"},              // conditioned property
+		{"P:Person.name", "P:Person.sex"},                  // conditioned property
+		{"M:knows", "S:knows"},                             // match after structure
+		{"M:knows", "P:Person.country"},                    // match after correlated property
+		{"P:Message.topic", "S:creates"},                   // count inferred through 1→* head
+		{"M:creates", "S:creates"},                         // match after structure
+		{"EP:knows.creationDate", "M:knows"},               // edge property after match
 		{"EP:knows.creationDate", "P:Person.creationDate"}, // endpoint dep
 	} {
 		if !hasDep(tc.task, tc.on) {

@@ -54,6 +54,14 @@ type Panel struct {
 	// Passes adds re-streaming refinement passes after the first
 	// streaming pass (0 = the paper's single-pass algorithm).
 	Passes int
+	// Window sets SBM-Part's windowed-parallel stream window
+	// (0 = matcher default, negative = serial). Byte-identical output
+	// at every setting.
+	Window int
+	// Workers bounds the panel's intra-task parallelism — LFR's
+	// sharded community wiring and SBM-Part's window scans
+	// (0 = NumCPU, 1 = serial). Byte-identical output at every count.
+	Workers int
 }
 
 // Label renders the paper's panel naming, e.g. "LFR(10k,16)".
@@ -104,6 +112,7 @@ func RunPanel(p Panel) (*Result, error) {
 	switch p.Generator {
 	case LFR:
 		g := sgen.NewLFR(p.Seed)
+		g.Workers = p.Workers
 		n = p.Size
 		et, err = g.Run(n)
 	case RMAT:
@@ -164,6 +173,8 @@ func RunPanel(p Panel) (*Result, error) {
 	}
 	part.Balance = !p.NoBalance
 	part.Seed = p.Seed ^ 0x3
+	part.Window = match.EffectiveWindow(p.Window, p.Workers)
+	part.Workers = p.Workers
 	var order []int64
 	switch p.Order {
 	case "", "random":

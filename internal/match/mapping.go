@@ -2,6 +2,7 @@ package match
 
 import (
 	"fmt"
+	"runtime"
 
 	"datasynth/internal/graph"
 	"datasynth/internal/stats"
@@ -69,6 +70,35 @@ type Options struct {
 	// Passes adds re-streaming refinement passes (see
 	// SBMPart.PartitionMultiPass).
 	Passes int
+	// Window sets the windowed-parallel streaming window size:
+	// 0 picks DefaultWindow, negative (or 1) forces the serial path.
+	// The partition is byte-identical at every window size.
+	Window int
+	// Workers bounds the scan-phase concurrency (0 = NumCPU, 1 =
+	// serial). The partition is byte-identical at every worker count.
+	Workers int
+}
+
+// DefaultWindow is the stream window used when Options.Window is 0 —
+// large enough to amortise the scan fan-out, small enough that the
+// frozen snapshot stays fresh (few pending neighbours per node).
+const DefaultWindow = 2048
+
+// EffectiveWindow resolves the (Window, Workers) pair into a concrete
+// SBMPart.Window: an explicit window wins; auto (0) picks
+// DefaultWindow only when the scan phase has real parallelism to
+// exploit (more than one worker available), and the cheaper serial
+// stream otherwise. The partition bytes are identical either way —
+// this is purely a wall-clock policy, kept in one place so every
+// caller (engine, experiment harness, CLI) agrees.
+func EffectiveWindow(window, workers int) int {
+	if window != 0 {
+		return window
+	}
+	if workers == 1 || (workers <= 0 && runtime.NumCPU() == 1) {
+		return 1
+	}
+	return DefaultWindow
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -109,6 +139,8 @@ func MatchProperty(et *table.EdgeTable, n int64, rowLabels []int64, target *stat
 	}
 	part.Balance = opt.Balance
 	part.Seed = opt.Seed
+	part.Window = EffectiveWindow(opt.Window, opt.Workers)
+	part.Workers = opt.Workers
 	order := opt.Order
 	if order == nil {
 		order = RandomOrder(n, opt.Seed)

@@ -48,6 +48,17 @@ type SBMPart struct {
 	// placed neighbours: they are assigned pseudo-randomly, weighted by
 	// remaining capacity, so no group soaks up all early-stream nodes.
 	Seed uint64
+	// Window enables the windowed-parallel streaming mode: the stream
+	// is processed in fixed-size windows whose nodes are scanned
+	// concurrently against a frozen snapshot of the partial assignment,
+	// then committed sequentially in stream order (restreamed-LDG
+	// style). The committed partition is byte-identical to the serial
+	// stream at every window size and worker count; see
+	// partitionWindowed. Window <= 1 keeps the fully serial path.
+	Window int
+	// Workers bounds the concurrency of the windowed scan phase;
+	// 0 means NumCPU, 1 scans serially (still byte-identical).
+	Workers int
 	// FinalTarget scores placements against the *final* absolute target
 	// matrix W = m·P instead of the default proportional target
 	// W(s) = m_placed·P. The final-target variant reads the paper most
@@ -120,19 +131,16 @@ func (p *SBMPart) Partition(g *graph.Graph, order []int64) ([]int64, error) {
 		return nil, fmt.Errorf("match: total capacity %d below node count %d", totalCap, n)
 	}
 
+	if p.Window > 1 {
+		return p.partitionWindowed(g, order, p.Window)
+	}
+
 	k := p.K
 	// Target probabilities and current inter-group edge counts, dense
 	// k×k symmetric (both (i,j) and (j,i) mirrored so row scans are
 	// contiguous). The probability matrix is scaled to the running edge
 	// count at each placement (see the method comment).
-	targetP := make([]float64, k*k)
-	for a := 0; a < k; a++ {
-		for b := a; b < k; b++ {
-			w := p.Target.At(a, b)
-			targetP[a*k+b] = w
-			targetP[b*k+a] = w
-		}
-	}
+	targetP := p.targetMatrix()
 	m := float64(g.M())
 	cur := make([]float64, k*k)
 	var placedEdges float64
@@ -202,6 +210,22 @@ func (p *SBMPart) Partition(g *graph.Graph, order []int64) ([]int64, error) {
 	return assign, nil
 }
 
+// targetMatrix expands the target joint into a dense k×k symmetric
+// probability matrix (both (i,j) and (j,i) mirrored so row scans are
+// contiguous).
+func (p *SBMPart) targetMatrix() []float64 {
+	k := p.K
+	targetP := make([]float64, k*k)
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			w := p.Target.At(a, b)
+			targetP[a*k+b] = w
+			targetP[b*k+a] = w
+		}
+	}
+	return targetP
+}
+
 // placeUnconstrained assigns a neighbour-less node pseudo-randomly,
 // weighted by remaining capacity q_t − s_t. A deterministic argmax
 // would funnel every early-stream node into the largest group, biasing
@@ -233,31 +257,40 @@ func (p *SBMPart) placeUnconstrained(used []int64, rnd xrand.Stream, v int64) in
 // applies the balancing rule.
 func (p *SBMPart) placeByFrobenius(cur, targetP []float64, scale float64, used, cnt []int64, touched []int) int64 {
 	k := p.K
-	// Pass 1: compute Δ_t for all feasible t; track maxΔ for the gain
-	// transform. The scratch lives on the instance: one allocation per
-	// partitioner, not one per streamed node.
+	// Pass 1: compute Δ_t for every group. The loops run j-major: both
+	// matrices are symmetric, so row j holds the (t, j) cells for all t
+	// contiguously, turning the hot inner loop into a unit-stride
+	// fused-multiply-add over k cells — no gathers, no bounds checks.
+	// The per-t accumulation still visits touched groups in the same
+	// order as a t-major scan would, so the floating-point sums (and
+	// with them every placement decision) are bit-identical. The
+	// scratch lives on the instance: one allocation per partitioner,
+	// not one per streamed node.
 	if cap(p.deltas) < k {
 		p.deltas = make([]float64, k)
 	}
 	deltas := p.deltas[:k]
+	for t := range deltas {
+		deltas[t] = 0
+	}
+	for _, j := range touched {
+		c := float64(cnt[j])
+		cj := cur[j*k : j*k+k]
+		tj := targetP[j*k : j*k+k]
+		for t, cv := range cj {
+			a := cv - scale*tj[t]
+			deltas[t] += c * (2*a + c)
+		}
+	}
 	feasible := false
 	maxDelta := math.Inf(-1)
 	for t := 0; t < k; t++ {
 		if used[t] >= p.Capacities[t] {
-			deltas[t] = math.NaN()
 			continue
 		}
 		feasible = true
-		var d float64
-		row := t * k
-		for _, j := range touched {
-			c := float64(cnt[j])
-			a := cur[row+j] - scale*targetP[row+j]
-			d += c * (2*a + c)
-		}
-		deltas[t] = d
-		if d > maxDelta {
-			maxDelta = d
+		if deltas[t] > maxDelta {
+			maxDelta = deltas[t]
 		}
 	}
 	if !feasible {
@@ -268,7 +301,7 @@ func (p *SBMPart) placeByFrobenius(cur, targetP []float64, scale float64, used, 
 		bestScore := math.Inf(-1)
 		var bestRem float64
 		for t := 0; t < k; t++ {
-			if math.IsNaN(deltas[t]) {
+			if used[t] >= p.Capacities[t] {
 				continue
 			}
 			rem := 1 - float64(used[t])/float64(p.Capacities[t])
@@ -283,7 +316,7 @@ func (p *SBMPart) placeByFrobenius(cur, targetP []float64, scale float64, used, 
 		bestDelta := math.Inf(1)
 		var bestRem float64
 		for t := 0; t < k; t++ {
-			if math.IsNaN(deltas[t]) {
+			if used[t] >= p.Capacities[t] {
 				continue
 			}
 			rem := 1 - float64(used[t])/float64(p.Capacities[t])

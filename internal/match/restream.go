@@ -34,14 +34,7 @@ func (p *SBMPart) PartitionMultiPass(g *graph.Graph, order []int64, extra int) (
 	n := g.N()
 	kk := int64(k)
 
-	targetP := make([]float64, k*k)
-	for a := 0; a < k; a++ {
-		for b := a; b < k; b++ {
-			w := p.Target.At(a, b)
-			targetP[a*k+b] = w
-			targetP[b*k+a] = w
-		}
-	}
+	targetP := p.targetMatrix()
 	m := float64(g.M())
 
 	prev := make([]int64, n)

@@ -1,0 +1,202 @@
+package match
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"datasynth/internal/graph"
+	"datasynth/internal/sgen"
+	"datasynth/internal/stats"
+)
+
+// lfrFixture builds a moderately sized LFR graph plus a homophilous
+// target/capacity pair — the workload the windowed partitioner is for.
+func lfrFixture(t testing.TB, n int64, k int) (*graph.Graph, *stats.Joint, []int64) {
+	t.Helper()
+	l := sgen.NewLFR(17)
+	et, err := l.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdgeTable(et, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]int64, k)
+	for i := range sizes {
+		sizes[i] = n / int64(k)
+	}
+	sizes[0] += n - sizes[0]*int64(k)
+	target, err := stats.HomophilyJoint(sizes, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, target, sizes
+}
+
+func partitionWith(t testing.TB, g *graph.Graph, target *stats.Joint, sizes []int64, window, workers int) []int64 {
+	t.Helper()
+	part, err := NewSBMPart(target, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.Seed = 99
+	part.Window = window
+	part.Workers = workers
+	assign, err := part.Partition(g, RandomOrder(g.N(), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return assign
+}
+
+// TestWindowedPartitionByteIdentical: the windowed-parallel mode must
+// reproduce the serial stream exactly — same assignment for every node
+// — at window sizes 1 (serial path), 64, DefaultWindow and
+// whole-stream, and at 1 and NumCPU workers.
+func TestWindowedPartitionByteIdentical(t *testing.T) {
+	const n, k = 4000, 16
+	g, target, sizes := lfrFixture(t, n, k)
+	ref := partitionWith(t, g, target, sizes, 1, 1) // serial baseline
+
+	windows := []int{64, DefaultWindow, int(n)} // n = whole stream
+	for _, w := range windows {
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			got := partitionWith(t, g, target, sizes, w, workers)
+			for v := range ref {
+				if got[v] != ref[v] {
+					t.Fatalf("window=%d workers=%d: node %d assigned %d, serial %d",
+						w, workers, v, got[v], ref[v])
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedPartitionOrderValidation: the windowed path must reject
+// non-permutation orders exactly like the serial path.
+func TestWindowedPartitionOrderValidation(t *testing.T) {
+	g, target, sizes := lfrFixture(t, 500, 4)
+	part, err := NewSBMPart(target, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.Window = 64
+	bad := RandomOrder(500, 5)
+	bad[100] = bad[101] // duplicate
+	if _, err := part.Partition(g, bad); err == nil {
+		t.Fatal("duplicate order entry not rejected")
+	}
+	part2, err := NewSBMPart(target, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part2.Window = 64
+	oob := RandomOrder(500, 5)
+	oob[0] = 500 // out of range
+	if _, err := part2.Partition(g, oob); err == nil {
+		t.Fatal("out-of-range order entry not rejected")
+	}
+}
+
+// TestWindowedPartitionStress exercises the frozen-snapshot scan /
+// sequential commit loop under the race detector: several goroutines
+// run independent windowed partitions concurrently (each instance is
+// internally parallel too), all of which must agree with the serial
+// baseline.
+func TestWindowedPartitionStress(t *testing.T) {
+	const n, k = 2000, 8
+	g, target, sizes := lfrFixture(t, n, k)
+	ref := partitionWith(t, g, target, sizes, 1, 1)
+
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(window int) {
+			defer wg.Done()
+			got := partitionWith(t, g, target, sizes, window, 0)
+			for v := range ref {
+				if got[v] != ref[v] {
+					t.Errorf("window=%d: node %d assigned %d, serial %d", window, v, got[v], ref[v])
+					return
+				}
+			}
+		}(2 + r*37)
+	}
+	wg.Wait()
+}
+
+// TestMatchPropertyWindowedIdentical: the end-to-end matching operator
+// must hand out identical mappings whatever the window/worker setting.
+func TestMatchPropertyWindowedIdentical(t *testing.T) {
+	const n, k = 2000, 4
+	l := sgen.NewLFR(23)
+	et, err := l.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]int64, k)
+	for i := range sizes {
+		sizes[i] = n / int64(k)
+	}
+	target, err := stats.HomophilyJoint(sizes, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowLabels := make([]int64, n)
+	idx := int64(0)
+	for v, sz := range sizes {
+		for c := int64(0); c < sz; c++ {
+			rowLabels[idx] = int64(v)
+			idx++
+		}
+	}
+	run := func(window, workers int) []int64 {
+		opt := DefaultOptions(77)
+		opt.Window = window
+		opt.Workers = workers
+		res, err := MatchProperty(et, n, rowLabels, target, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Mapping
+	}
+	ref := run(-1, 1) // serial
+	for _, w := range []int{64, 0 /* DefaultWindow */, int(n)} {
+		got := run(w, 0)
+		for v := range ref {
+			if got[v] != ref[v] {
+				t.Fatalf("window=%d: mapping[%d] = %d, serial %d", w, v, got[v], ref[v])
+			}
+		}
+	}
+}
+
+func BenchmarkPartitionSerial(b *testing.B) {
+	g, target, sizes := lfrFixture(b, 30000, 16)
+	order := RandomOrder(g.N(), 5)
+	part, _ := NewSBMPart(target, sizes)
+	part.Seed = 99
+	part.Window = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := part.Partition(g, order); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionWindowed(b *testing.B) {
+	g, target, sizes := lfrFixture(b, 30000, 16)
+	order := RandomOrder(g.N(), 5)
+	part, _ := NewSBMPart(target, sizes)
+	part.Seed = 99
+	part.Window = DefaultWindow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := part.Partition(g, order); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

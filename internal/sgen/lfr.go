@@ -3,7 +3,9 @@ package sgen
 import (
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"datasynth/internal/table"
 	"datasynth/internal/xrand"
@@ -28,6 +30,12 @@ type LFR struct {
 	Tau1         float64 // degree power-law exponent (default 2)
 	Tau2         float64 // community size power-law exponent (default 1)
 	Seed         uint64
+	// Workers bounds the concurrency of intra-community wiring
+	// (0 = NumCPU, 1 = serial). Communities are wired on independent
+	// RNG streams keyed off (Seed, community id) and their edges are
+	// assembled in community order, so the edge table is byte-identical
+	// at every worker count.
+	Workers int
 
 	// communities of the last Run, exposed for tests and for the
 	// experiment harness (ground-truth labels).
@@ -51,6 +59,9 @@ func NewLFR(seed uint64) *LFR {
 
 // Name implements Generator.
 func (l *LFR) Name() string { return "lfr" }
+
+// SetWorkers implements WorkerSettable.
+func (l *LFR) SetWorkers(w int) { l.Workers = w }
 
 // Communities returns the ground-truth community label of every node
 // from the most recent Run. It is the basis of LFR's use in community
@@ -155,18 +166,29 @@ func (l *LFR) Run(n int64) (*table.EdgeTable, error) {
 	// 4. Assign nodes to communities. A node with intra-degree k needs a
 	// community of size >= k+1. Process nodes in decreasing intra-degree
 	// and fill communities first-fit over a shuffled order, which is the
-	// standard greedy realisation of LFR's constraint.
-	order := make([]int64, n)
-	for i := range order {
-		order[i] = int64(i)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := order[a], order[b]
-		if intra[ia] != intra[ib] {
-			return intra[ia] > intra[ib]
+	// standard greedy realisation of LFR's constraint. Intra-degrees are
+	// bounded by MaxDegree, so a counting sort produces the
+	// (intra desc, id asc) order in O(n + MaxDegree) instead of
+	// O(n log n) comparisons.
+	maxIntra := 0
+	for _, d := range intra {
+		if d > maxIntra {
+			maxIntra = d
 		}
-		return ia < ib
-	})
+	}
+	bucket := make([]int64, maxIntra+2)
+	for _, d := range intra {
+		bucket[maxIntra-d+1]++
+	}
+	for b := 1; b < len(bucket); b++ {
+		bucket[b] += bucket[b-1]
+	}
+	order := make([]int64, n)
+	for v := int64(0); v < n; v++ { // ascending v keeps ties id-ordered
+		b := maxIntra - intra[v]
+		order[bucket[b]] = v
+		bucket[b]++
+	}
 	commOf := make([]int64, n)
 	remaining := make([]int, len(sizes))
 	copy(remaining, sizes)
@@ -213,8 +235,15 @@ func (l *LFR) Run(n int64) (*table.EdgeTable, error) {
 	// model over the residual stubs. Duplicate rejection goes through a
 	// batched sort-and-compact dedup (see edgeDedup) instead of a
 	// per-edge hash map; the accepted edge set is identical.
+	//
+	// Communities are independent once sizes and memberships are fixed
+	// (an intra edge has both endpoints inside one community), so each
+	// community is wired as its own shard: randomness comes from a
+	// per-community stream keyed off (Seed, community id), edges land
+	// in a per-community slot, and the slots are concatenated in
+	// community order. Shards can therefore run on a worker pool — or
+	// serially — with a byte-identical edge table either way.
 	et := table.NewEdgeTable("lfr", int64(float64(n)*l.AvgDegree/2))
-	dd := newEdgeDedup(int64(float64(n) * l.AvgDegree / 2))
 
 	// Community member lists as one CSR block instead of len(sizes)
 	// independently grown slices.
@@ -235,8 +264,71 @@ func (l *LFR) Run(n int64) (*table.EdgeTable, error) {
 		fill[c]++
 	}
 
-	var stubs []int64
-	for c := range sizes {
+	if err := l.wireIntraShards(et, sizes, intra, memberBuf, memberOffs); err != nil {
+		return nil, err
+	}
+
+	dd := newEdgeDedup(int64(float64(n) * l.AvgDegree * l.Mu / 2))
+	interStubs := make([]int64, 0, n)
+	for v := int64(0); v < n; v++ {
+		for j := 0; j < deg[v]-intra[v]; j++ {
+			interStubs = append(interStubs, v)
+		}
+	}
+	if len(interStubs)%2 == 1 {
+		interStubs = interStubs[:len(interStubs)-1]
+	}
+	// For inter stubs, additionally reject same-community pairs (they
+	// would inflate µ^-1); after the retry budget they are dropped.
+	// Inter pairs span two communities, so they can never collide with
+	// an intra edge — the dedup starts from an empty accepted set.
+	pairStubsFiltered(q, dd, et, interStubs, 8, func(a, b int64) bool {
+		return commOf[a] != commOf[b]
+	})
+	return et, nil
+}
+
+// wireIntraShards wires every community's internal configuration model.
+// Shard c draws from the stream (Seed, "lfr.intra", c), emits into the
+// arena range [bound[c], bound[c+1]) — disjoint per shard — and the
+// ranges are concatenated in community order afterwards, so the result
+// is a pure function of the schema seed regardless of how many workers
+// process the shard queue or in which order they finish.
+func (l *LFR) wireIntraShards(et *table.EdgeTable, sizes, intra []int, memberBuf, memberOffs []int64) error {
+	nComm := len(sizes)
+	if nComm == 0 {
+		return nil
+	}
+	intraBase := xrand.NewStream(l.Seed).DeriveStream("lfr.intra")
+
+	// Per-community edge-count upper bound (half its stub count) sizes
+	// the shared output arena; counts records the actual emissions.
+	bound := make([]int64, nComm+1)
+	for c := 0; c < nComm; c++ {
+		var stubCount int64
+		for _, v := range memberBuf[memberOffs[c]:memberOffs[c+1]] {
+			stubCount += int64(intra[v])
+		}
+		bound[c+1] = bound[c] + stubCount/2
+	}
+	tails := make([]int64, bound[nComm])
+	heads := make([]int64, bound[nComm])
+	counts := make([]int64, nComm)
+
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > nComm {
+		workers = nComm
+	}
+
+	// wire runs one shard with a worker's reusable scratch (dedup,
+	// stub buffer, local edge sink); only the arena range and counts
+	// slot of community c are written, so shards never contend.
+	wire := func(c int, dd *edgeDedup, local *table.EdgeTable, stubs []int64) []int64 {
+		members := memberBuf[memberOffs[c]:memberOffs[c+1]]
+		size := int64(len(members))
 		// Intra edges of community c can only collide with each other
 		// (both endpoints lie in c), so each community dedups afresh —
 		// over *local* member indices, whose tiny key universe (size²)
@@ -244,8 +336,6 @@ func (l *LFR) Run(n int64) (*table.EdgeTable, error) {
 		// bounds. User-configured giant communities fall back to the
 		// sorted-key batch dedup, whose memory scales with the edge
 		// count instead of size².
-		members := memberBuf[memberOffs[c]:memberOffs[c+1]]
-		size := int64(len(members))
 		direct := size*size <= directDedupMaxUniverse
 		stubs = stubs[:0]
 		for li, v := range members {
@@ -261,31 +351,55 @@ func (l *LFR) Run(n int64) (*table.EdgeTable, error) {
 		if len(stubs)%2 == 1 {
 			stubs = stubs[:len(stubs)-1]
 		}
+		qc := newSeqFromStream(intraBase.DeriveN(uint64(c)))
+		local.Tail = local.Tail[:0]
+		local.Head = local.Head[:0]
 		if direct {
-			pairStubsDirect(q, dd, et, stubs, members, 8)
+			pairStubsDirect(qc, dd, local, stubs, members, 8)
 		} else {
 			dd.reset()
-			pairStubsFiltered(q, dd, et, stubs, 8, nil)
+			pairStubsFiltered(qc, dd, local, stubs, 8, nil)
 		}
+		counts[c] = int64(len(local.Tail))
+		copy(tails[bound[c]:], local.Tail)
+		copy(heads[bound[c]:], local.Head)
+		return stubs
 	}
-	interStubs := make([]int64, 0, n)
-	for v := int64(0); v < n; v++ {
-		for j := 0; j < deg[v]-intra[v]; j++ {
-			interStubs = append(interStubs, v)
+
+	if workers == 1 {
+		dd := newEdgeDedup(0)
+		local := &table.EdgeTable{}
+		var stubs []int64
+		for c := 0; c < nComm; c++ {
+			stubs = wire(c, dd, local, stubs)
 		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dd := newEdgeDedup(0)
+				local := &table.EdgeTable{}
+				var stubs []int64
+				for {
+					c := int(next.Add(1) - 1)
+					if c >= nComm {
+						return
+					}
+					stubs = wire(c, dd, local, stubs)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	if len(interStubs)%2 == 1 {
-		interStubs = interStubs[:len(interStubs)-1]
+
+	for c := 0; c < nComm; c++ {
+		et.Tail = append(et.Tail, tails[bound[c]:bound[c]+counts[c]]...)
+		et.Head = append(et.Head, heads[bound[c]:bound[c]+counts[c]]...)
 	}
-	// For inter stubs, additionally reject same-community pairs (they
-	// would inflate µ^-1); after the retry budget they are dropped.
-	// Inter pairs span two communities, so they can never collide with
-	// an intra edge — dedup restarts once more.
-	dd.reset()
-	pairStubsFiltered(q, dd, et, interStubs, 8, func(a, b int64) bool {
-		return commOf[a] != commOf[b]
-	})
-	return et, nil
+	return nil
 }
 
 // directDedupMaxUniverse bounds the stamp table to 4M entries (16 MB

@@ -1,0 +1,66 @@
+package sgen
+
+import (
+	"runtime"
+	"testing"
+
+	"datasynth/internal/table"
+)
+
+// TestLFRWorkerCountByteIdentical: sharded intra-community wiring must
+// produce the same edge table no matter how many workers drain the
+// shard queue — per-community RNG streams plus community-ordered
+// assembly make the output a pure function of the seed.
+func TestLFRWorkerCountByteIdentical(t *testing.T) {
+	run := func(workers int) *table.EdgeTable {
+		l := NewLFR(11)
+		l.Workers = workers
+		et, err := l.Run(3000)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return et
+	}
+	ref := run(1)
+	if ref.Len() == 0 {
+		t.Fatal("no edges")
+	}
+	for _, w := range []int{2, 4, runtime.NumCPU()} {
+		got := run(w)
+		if got.Len() != ref.Len() {
+			t.Fatalf("workers=%d: %d edges, serial %d", w, got.Len(), ref.Len())
+		}
+		for i := range ref.Tail {
+			if ref.Tail[i] != got.Tail[i] || ref.Head[i] != got.Head[i] {
+				t.Fatalf("workers=%d: edge %d is (%d,%d), serial (%d,%d)",
+					w, i, got.Tail[i], got.Head[i], ref.Tail[i], ref.Head[i])
+			}
+		}
+	}
+}
+
+// TestLFRShardedLargeCommunityWorkers: the oversized-community fallback
+// (sorted-key dedup) must also be worker-count invariant.
+func TestLFRShardedLargeCommunityWorkers(t *testing.T) {
+	run := func(workers int) *table.EdgeTable {
+		l := NewLFR(5)
+		l.MinCommunity = 2100
+		l.MaxCommunity = 2200
+		l.Workers = workers
+		et, err := l.Run(4300)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return et
+	}
+	ref := run(1)
+	got := run(4)
+	if got.Len() != ref.Len() {
+		t.Fatalf("%d edges vs serial %d", got.Len(), ref.Len())
+	}
+	for i := range ref.Tail {
+		if ref.Tail[i] != got.Tail[i] || ref.Head[i] != got.Head[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}

@@ -2,30 +2,22 @@ package sgen
 
 import "datasynth/internal/xrand"
 
-// seq adapts a randomly addressable xrand.Stream into a sequential
-// source for batch generators (LFR, BTER, …) whose algorithms are
-// inherently sequential. Determinism is preserved: a fixed seed yields
+// seq is the sequential randomness source for batch generators (LFR,
+// BTER, …) whose algorithms are inherently sequential. It is a thin
+// alias over xrand.Seq (sequential splitmix64 — one mix per draw,
+// versus two for the addressable Stream) plus the distribution helper
+// the generators share. Determinism is preserved: a fixed seed yields
 // a fixed sequence.
 type seq struct {
-	s xrand.Stream
-	i int64
+	xrand.Seq
 }
 
-func newSeq(seed uint64) *seq { return &seq{s: xrand.NewStream(seed)} }
+func newSeq(seed uint64) *seq { return &seq{*xrand.NewSeq(seed)} }
 
-func (q *seq) next() int64 { q.i++; return q.i - 1 }
-
-func (q *seq) Float64() float64 { return q.s.Float64(q.next()) }
-
-func (q *seq) Intn(n int64) int64 { return q.s.Intn(q.next(), n) }
-
-// Shuffle permutes xs in place (Fisher–Yates).
-func (q *seq) ShuffleInt64(xs []int64) {
-	for i := len(xs) - 1; i > 0; i-- {
-		j := q.Intn(int64(i + 1))
-		xs[i], xs[j] = xs[j], xs[i]
-	}
-}
+// newSeqFromStream keys a sequential source off an already-derived
+// stream (e.g. a per-shard child from Stream.DeriveN), so shards can
+// consume randomness independently of each other and of the parent.
+func newSeqFromStream(s xrand.Stream) *seq { return &seq{*xrand.NewSeq(s.Seed())} }
 
 // SampleDiscrete draws from d.
 func (q *seq) SampleDiscrete(d *xrand.Discrete) int { return d.SampleU(q.Float64()) }

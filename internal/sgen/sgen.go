@@ -37,6 +37,15 @@ type Generator interface {
 	NumNodesForEdges(numEdges int64) (int64, error)
 }
 
+// WorkerSettable is implemented by generators that can shard their
+// work across a bounded worker pool (e.g. LFR's intra-community
+// wiring). Implementations must stay byte-deterministic at every
+// worker count; the engine propagates its own Workers setting through
+// this interface.
+type WorkerSettable interface {
+	SetWorkers(workers int)
+}
+
 // BipartiteGenerator produces structure between two distinct node
 // domains (e.g. the running example's `creates` between Person and
 // Message). Tail ids are in [0, nTail), head ids in [0, nHead).

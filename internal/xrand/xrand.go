@@ -43,6 +43,17 @@ func (s Stream) DeriveStream(label string) Stream {
 	return Stream{seed: mix64(h)}
 }
 
+// DeriveN returns the i-th numbered child stream — the integer
+// analogue of DeriveStream, without the label-hashing cost. It is the
+// substrate for per-shard RNG streams (e.g. one stream per LFR
+// community keyed off (schema seed, task id, community id)): children
+// are statistically independent of each other and of the parent, and
+// the derivation is a pure function of (seed, i), so shards can be
+// processed in any order — or concurrently — with identical results.
+func (s Stream) DeriveN(i uint64) Stream {
+	return Stream{seed: mix64(s.seed ^ (i+1)*0x9e3779b97f4a7c15)}
+}
+
 // Seed returns the stream's seed.
 func (s Stream) Seed() uint64 { return s.seed }
 
@@ -170,6 +181,66 @@ func (s Stream) Perm(p, n int64) int64 {
 		if x < n {
 			return x
 		}
+	}
+}
+
+// Seq is a sequential splitmix64 generator (Steele et al., the
+// algorithm behind Java's SplittableRandom) for inherently sequential
+// batch algorithms: configuration-model shuffles, rejection loops,
+// attachment walks. Where the addressable Stream pays two mix64 rounds
+// per draw to make every index independently addressable, Seq advances
+// a Weyl state and finalises once — half the mixing work on paths that
+// consume numbers strictly in order. The zero value is a valid
+// generator (seed 0).
+type Seq struct {
+	state uint64
+}
+
+// NewSeq returns a sequential generator; use a Stream-derived seed
+// (e.g. NewStream(seed).DeriveN(shard).Seed()) to key one Seq per
+// shard.
+func NewSeq(seed uint64) *Seq { return &Seq{state: seed} }
+
+// U64 returns the next 64-bit value.
+func (q *Seq) U64() uint64 {
+	q.state += 0x9e3779b97f4a7c15
+	return mix64(q.state)
+}
+
+// U64n returns the next value reduced to [0, n) without modulo bias
+// (Lemire multiply-shift with rejection).
+func (q *Seq) U64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Seq.U64n with n == 0")
+	}
+	hi, lo := mul64(q.U64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = mul64(q.U64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns the next value uniform in [0, n). n must be positive.
+func (q *Seq) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Seq.Intn with non-positive n")
+	}
+	return int64(q.U64n(uint64(n)))
+}
+
+// Float64 returns the next value uniform in [0, 1).
+func (q *Seq) Float64() float64 {
+	return float64(q.U64()>>11) / (1 << 53)
+}
+
+// ShuffleInt64 permutes xs in place (Fisher–Yates).
+func (q *Seq) ShuffleInt64(xs []int64) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := q.Intn(int64(i + 1))
+		xs[i], xs[j] = xs[j], xs[i]
 	}
 }
 

@@ -253,3 +253,79 @@ func BenchmarkPerm(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestDeriveNIndependentChildren(t *testing.T) {
+	base := NewStream(7)
+	seen := map[uint64]bool{base.Seed(): true}
+	for i := uint64(0); i < 1000; i++ {
+		c := base.DeriveN(i)
+		if seen[c.Seed()] {
+			t.Fatalf("child %d collides", i)
+		}
+		seen[c.Seed()] = true
+		if c.Seed() != base.DeriveN(i).Seed() {
+			t.Fatalf("child %d not deterministic", i)
+		}
+	}
+	// Children of different parents must differ too.
+	if NewStream(7).DeriveN(3).Seed() == NewStream(8).DeriveN(3).Seed() {
+		t.Fatal("children of different parents collide")
+	}
+}
+
+func TestSeqDeterministicAndBounded(t *testing.T) {
+	a, b := NewSeq(11), NewSeq(11)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.U64(), b.U64()
+		if va != vb {
+			t.Fatalf("draw %d differs", i)
+		}
+	}
+	q := NewSeq(5)
+	for i := 0; i < 1000; i++ {
+		if v := q.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := q.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestSeqShuffleIsPermutation(t *testing.T) {
+	q := NewSeq(3)
+	xs := make([]int64, 500)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	q.ShuffleInt64(xs)
+	seen := make([]bool, len(xs))
+	moved := 0
+	for i, v := range xs {
+		if v < 0 || v >= int64(len(xs)) || seen[v] {
+			t.Fatalf("not a permutation at %d: %d", i, v)
+		}
+		seen[v] = true
+		if v != int64(i) {
+			moved++
+		}
+	}
+	if moved < len(xs)/2 {
+		t.Fatalf("shuffle barely moved anything (%d/%d)", moved, len(xs))
+	}
+}
+
+func TestSeqUniformitySmoke(t *testing.T) {
+	q := NewSeq(9)
+	const n, draws = 16, 64000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[q.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Fatalf("value %d drawn %d times, want ~%.0f", k, c, want)
+		}
+	}
+}
