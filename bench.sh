@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# bench.sh — record the Figure 3 benchmark panels with -benchmem and
-# write a machine-readable snapshot (BENCH_pr<N>.json) so the perf
-# trajectory is tracked PR over PR.
+# bench.sh — record the Figure 3 benchmark panels plus the export
+# throughput benchmarks (CSV serial vs concurrent vs JSONL vs columnar
+# on the Figure3_LFR100k dataset) with -benchmem, and write a
+# machine-readable snapshot (BENCH_pr<N>.json) so the perf trajectory
+# is tracked PR over PR.
 #
 # Usage: ./bench.sh [pr-number] [bench-regex]
 set -euo pipefail
 
-PR="${1:-1}"
-PATTERN="${2:-Figure3}"
+PR="${1:-3}"
+PATTERN="${2:-Figure3|Export}"
 OUT="BENCH_pr${PR}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -1,12 +1,18 @@
 // Command datasynth generates a property graph from a DSL schema:
 //
 //	datasynth -schema social.dsl -out ./dataset
-//	datasynth -schema social.dsl -plan          # print the task plan only
-//	datasynth -example                          # print a starter schema
+//	datasynth -schema social.dsl -format columnar   # binary bulk-load files
+//	datasynth -schema social.dsl -plan              # print the task plan only
+//	datasynth -example                              # print a starter schema
 //
-// The output directory receives one CSV per node type
-// (nodes_<Type>.csv) and per edge type (edges_<Type>.csv), the layout
-// bulk loaders of property-graph databases expect.
+// The output directory receives one file per node type and per edge
+// type. -format selects the encoding: csv (default, the layout bulk
+// loaders of property-graph databases expect), jsonl (one JSON object
+// per row), or columnar (binary typed column blocks for fast bulk
+// loads). Tables are written concurrently (-exportworkers) and the
+// directory commits atomically — a failed export leaves no partial
+// files. With -timings the report covers generation AND export, so the
+// printed critical path is the true end-to-end pipeline floor.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"datasynth/internal/core"
 	"datasynth/internal/depgraph"
 	"datasynth/internal/dsl"
+	"datasynth/internal/table"
 )
 
 // exampleSchema is the paper's Figure 1 running example.
@@ -53,14 +60,16 @@ graph social {
 
 func main() {
 	schemaPath := flag.String("schema", "", "path to the DSL schema file")
-	out := flag.String("out", "dataset", "output directory for CSV files")
-	jsonl := flag.Bool("jsonl", false, "write JSON-lines files instead of CSV")
+	out := flag.String("out", "dataset", "output directory for the exported files")
+	format := flag.String("format", "", "export format: csv (default), jsonl, columnar")
+	jsonl := flag.Bool("jsonl", false, "write JSON-lines files (shorthand for -format jsonl)")
 	planOnly := flag.Bool("plan", false, "print the dependency-analysis task plan and exit")
 	example := flag.Bool("example", false, "print an example schema and exit")
 	verbose := flag.Bool("v", false, "log task progress")
 	workers := flag.Int("workers", 0, "scheduler and intra-task worker bound (0 = NumCPU, 1 = sequential); output is byte-identical at any count")
 	window := flag.Int("window", 0, "SBM-Part stream window (0 = auto, negative = serial); output is byte-identical at any setting")
-	timings := flag.Bool("timings", false, "print the per-task timing report and critical path after generation")
+	exportWorkers := flag.Int("exportworkers", 0, "concurrent table writers during export (0 = inherit -workers, 1 = one table at a time); file bytes are identical at any count")
+	timings := flag.Bool("timings", false, "print the per-task timing report and end-to-end critical path (generation + export)")
 	flag.Parse()
 
 	if *example {
@@ -90,9 +99,27 @@ func main() {
 		}
 		return
 	}
+	formatName := *format
+	if *jsonl {
+		// -jsonl is shorthand for -format jsonl; a conflicting explicit
+		// -format is a mistake worth stopping, not silently overriding.
+		if formatName != "" && formatName != "jsonl" {
+			fatal(fmt.Errorf("-jsonl conflicts with -format %s", formatName))
+		}
+		formatName = "jsonl"
+	}
+	if formatName == "" {
+		formatName = "csv"
+	}
+	exportFormat, err := table.ParseFormat(formatName)
+	if err != nil {
+		fatal(err)
+	}
 	eng := core.New(s)
 	eng.Workers = *workers
 	eng.MatchWindow = *window
+	eng.ExportFormat = exportFormat
+	eng.ExportWorkers = *exportWorkers
 	if *verbose {
 		eng.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "datasynth: "+format+"\n", args...)
@@ -102,18 +129,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := eng.Export(d, *out); err != nil {
+		fatal(err)
+	}
 	if *timings {
 		fmt.Fprint(os.Stderr, eng.Report().String())
 	}
-	if *jsonl {
-		err = d.WriteDirJSONL(*out)
-	} else {
-		err = d.WriteDir(*out)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("generated %s into %s\n", d.Stats(), *out)
+	fmt.Printf("generated %s into %s (%s)\n", d.Stats(), *out, exportFormat)
 }
 
 func fatal(err error) {

@@ -1,10 +1,14 @@
 // Command graphstats computes the structural characteristics the
 // paper's Section 2 lists (degree distribution, clustering, connected
-// components, diameter, assortativity) for an edge CSV produced by
+// components, diameter, assortativity) for an edge file produced by
 // datasynth — the validation side of the generate-then-verify loop.
+// Both the CSV and the binary columnar (.dsc) connector formats load
+// directly, selected by file extension:
 //
 //	graphstats -edges dataset/edges_knows.csv
+//	graphstats -edges dataset/edges_knows.dsc
 //	graphstats -edges dataset/edges_knows.csv -labels dataset/nodes_Person.csv -labelcol country
+//	graphstats -edges dataset/edges_knows.dsc -labels dataset/nodes_Person.dsc -labelcol country
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"datasynth/internal/graph"
 	"datasynth/internal/stats"
@@ -77,8 +82,23 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// readEdges loads an edge CSV with header id,tail,head[,…].
+// readEdges loads an edge file — columnar when the path ends in .dsc,
+// CSV with header id,tail,head[,…] otherwise.
 func readEdges(path string) (*table.EdgeTable, int64, error) {
+	if strings.HasSuffix(path, table.ColumnarExt) {
+		ct, err := table.ReadColumnarFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ct.Edges == nil {
+			return nil, 0, fmt.Errorf("%s holds a node table, not edges", path)
+		}
+		maxNode := ct.Edges.MaxNode() - 1
+		if maxNode < 0 {
+			return nil, 0, fmt.Errorf("no edges in %s", path)
+		}
+		return ct.Edges, maxNode, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, err
@@ -124,9 +144,13 @@ func readEdges(path string) (*table.EdgeTable, int64, error) {
 	return et, maxNode, nil
 }
 
-// readLabels loads a node CSV and reduces one column to dense label
-// indices over n nodes (missing ids default to a fresh "" label).
+// readLabels loads a node file (columnar or CSV) and reduces one
+// column to dense label indices over n nodes (missing ids default to a
+// fresh "" label).
 func readLabels(path, col string, n int64) ([]int64, int, error) {
+	if strings.HasSuffix(path, table.ColumnarExt) {
+		return readLabelsColumnar(path, col, n)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, err
@@ -171,16 +195,69 @@ func readLabels(path, col string, n int64) ([]int64, int, error) {
 		}
 		labels[id] = k
 	}
-	// Nodes absent from the CSV get their own catch-all label.
+	labels, k := finalizeLabels(labels, len(index))
+	return labels, k, nil
+}
+
+// finalizeLabels gives ids absent from the node file a catch-all label
+// index of their own. The index is allocated past the real values, not
+// through the value map, so it can never collide with a property that
+// happens to spell the same as a sentinel string.
+func finalizeLabels(labels []int64, k int) ([]int64, int) {
 	missing := int64(-1)
 	for i, l := range labels {
 		if l == -1 {
 			if missing == -1 {
-				missing = int64(len(index))
-				index["<missing>"] = missing
+				missing = int64(k)
+				k++
 			}
 			labels[i] = missing
 		}
 	}
-	return labels, len(index), nil
+	return labels, k
+}
+
+// readLabelsColumnar reduces one property column of a columnar node
+// file to dense label indices over n nodes; ids beyond the file's row
+// count share a catch-all label.
+func readLabelsColumnar(path, col string, n int64) ([]int64, int, error) {
+	ct, err := table.ReadColumnarFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ct.Edges != nil {
+		return nil, 0, fmt.Errorf("%s holds an edge table, not nodes", path)
+	}
+	var pt *table.PropertyTable
+	for _, p := range ct.Props {
+		name := p.Name
+		if i := strings.LastIndexByte(name, '.'); i >= 0 {
+			name = name[i+1:]
+		}
+		if name == col {
+			pt = p
+			break
+		}
+	}
+	if pt == nil {
+		return nil, 0, fmt.Errorf("column %q not in %s", col, path)
+	}
+	labels := make([]int64, n)
+	index := map[string]int64{}
+	rows := pt.Len()
+	for id := int64(0); id < n; id++ {
+		if id >= rows {
+			labels[id] = -1
+			continue
+		}
+		v := pt.Format(id)
+		k, ok := index[v]
+		if !ok {
+			k = int64(len(index))
+			index[v] = k
+		}
+		labels[id] = k
+	}
+	labels, k := finalizeLabels(labels, len(index))
+	return labels, k, nil
 }

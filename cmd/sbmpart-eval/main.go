@@ -9,6 +9,12 @@
 //
 // CDF series are written as TSV files under -out (default ./results),
 // one per panel, plus ASCII plots and a summary table on stdout.
+//
+// Figure panels and sweep points are independent, so they run on a
+// worker pool (-panelworkers, default NumCPU) with results streamed in
+// panel order; every emitted artifact is byte-identical to a serial
+// run. The timing experiment (-timing) ignores the pool and stays a
+// pinned single-thread, single-stream measurement.
 package main
 
 import (
@@ -28,6 +34,7 @@ func main() {
 	passes := flag.Int("passes", 0, "re-streaming refinement passes for figure panels")
 	window := flag.Int("window", 0, "SBM-Part stream window (0 = auto, negative = serial); output is byte-identical at any setting")
 	workers := flag.Int("workers", 0, "intra-task worker bound for LFR sharding and window scans (0 = NumCPU, 1 = serial)")
+	panelWorkers := flag.Int("panelworkers", 0, "concurrent figure panels / sweep points (0 = NumCPU, 1 = serial); panel artifacts are byte-identical at any count — the timing experiment always runs serially")
 	all := flag.Bool("all", false, "run every experiment")
 	full := flag.Bool("full", false, "use the paper's full sizes (LFR-1M, RMAT-22); slow")
 	out := flag.String("out", "results", "output directory for TSV series")
@@ -46,19 +53,19 @@ func main() {
 	ran := false
 	if *all || *figure == 3 {
 		ran = true
-		if err := runFigure(3, tune(exp.Figure3Panels(*full)), *out); err != nil {
+		if err := runFigure(3, tune(exp.Figure3Panels(*full)), *out, *panelWorkers); err != nil {
 			fatal(err)
 		}
 	}
 	if *all || *figure == 4 {
 		ran = true
-		if err := runFigure(4, tune(exp.Figure4Panels(*full)), *out); err != nil {
+		if err := runFigure(4, tune(exp.Figure4Panels(*full)), *out, *panelWorkers); err != nil {
 			fatal(err)
 		}
 	}
 	if *all || *musweep {
 		ran = true
-		if err := runMuSweep(*out); err != nil {
+		if err := runMuSweep(*out, *panelWorkers); err != nil {
 			fatal(err)
 		}
 	}
@@ -91,10 +98,10 @@ func withPasses(panels []exp.Panel, passes int) []exp.Panel {
 	return panels
 }
 
-func runMuSweep(out string) error {
+func runMuSweep(out string, workers int) error {
 	fmt.Println("== Structure sensitivity: fidelity vs LFR mixing parameter ==")
 	mus := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
-	pts, err := exp.RunMuSweep(20000, 16, mus, 7)
+	pts, err := exp.RunMuSweep(20000, 16, mus, 7, workers)
 	if err != nil {
 		return err
 	}
@@ -117,14 +124,16 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runFigure(num int, panels []exp.Panel, out string) error {
+// runFigure fans the figure's panels out onto a worker pool and
+// streams each result's artifacts — summary row, CDF series file,
+// terminal plot — in panel order as soon as the prefix completes. The
+// emitted artifacts are byte-identical at every worker count; only the
+// wall-clock timing columns reflect pool contention (the pinned timing
+// experiment never goes through this path).
+func runFigure(num int, panels []exp.Panel, out string, panelWorkers int) error {
 	fmt.Printf("== Figure %d ==\n%s\n", num, exp.SummaryHeader)
 	dir := filepath.Join(out, fmt.Sprintf("figure%d", num))
-	for _, p := range panels {
-		r, err := exp.RunPanel(p)
-		if err != nil {
-			return fmt.Errorf("panel %s: %w", p.Label(), err)
-		}
+	return exp.RunPanels(panels, panelWorkers, func(r *exp.Result) error {
 		if err := exp.WriteSummaryRow(os.Stdout, r); err != nil {
 			return err
 		}
@@ -133,11 +142,8 @@ func runFigure(num int, panels []exp.Panel, out string) error {
 			return err
 		}
 		fmt.Printf("  series -> %s\n", path)
-		if err := exp.ASCIICDF(os.Stdout, r, 64, 12); err != nil {
-			return err
-		}
-	}
-	return nil
+		return exp.ASCIICDF(os.Stdout, r, 64, 12)
+	})
 }
 
 func runTable1(n int64, out string) error {

@@ -57,13 +57,41 @@
 // Every Generate also records per-task wall times and derives the
 // plan's critical path (Engine.Report, datasynth -timings): the
 // dependency chain that bounds wall time at infinite workers, i.e.
-// where further intra-task sharding pays off.
+// where further intra-task sharding pays off. After Engine.Export the
+// report covers the whole generate→match→export pipeline: per-file
+// export stats, end-to-end wall, and a final export hop on the
+// critical path.
+//
+// # Evaluation fan-out and the export pipeline
+//
+// The two outermost layers parallelise under the same determinism
+// contract — per-seed, worker-invariant, format-stable:
+//
+//   - Parallel panels (internal/exp): figure panels and sweep points
+//     are independent (each owns its seed), so exp.RunPanels runs them
+//     on a bounded pool and streams results back in submission order,
+//     byte-identical to the serial loop at every worker count
+//     (cmd/sbmpart-eval -panelworkers). The timing experiment stays
+//     pinned to one serial, single-thread panel at a time.
+//   - Concurrent atomic export (internal/table): Dataset.Export writes
+//     one file per table on a bounded pool in any of three formats —
+//     CSV via a pooled append encoder byte-identical to encoding/csv,
+//     JSON-lines, and a binary columnar format (.dsc: typed column
+//     blocks with CRC-32C trailers, round-tripped by OpenColumnar, the
+//     bulk-load path at ~4x CSV throughput). Files stage as temp files
+//     and rename into place only after every table succeeded, so a
+//     failed export never leaves a partial directory. The exported
+//     bytes are hash-verified identical across scheduler workers,
+//     match windows and export workers
+//     (internal/core TestExportedDatasetGoldenDeterminism).
 //
 // The library lives under internal/ (see README.md for the map);
-// cmd/datasynth generates datasets from DSL schemas and
-// cmd/sbmpart-eval regenerates the paper's evaluation. The benchmarks
-// in bench_test.go cover every table and figure of the paper; run them
-// with
+// cmd/datasynth generates datasets from DSL schemas (-format
+// csv|jsonl|columnar, -exportworkers), cmd/sbmpart-eval regenerates
+// the paper's evaluation and cmd/graphstats validates exported
+// datasets in either connector format. The benchmarks in bench_test.go
+// cover every table and figure of the paper, and export_bench_test.go
+// tracks connector throughput; run them with
 //
 //	go test -bench=. -benchmem .
 //

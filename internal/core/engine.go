@@ -51,6 +51,13 @@ type Engine struct {
 	// (serial when the engine is single-worker), negative forces the
 	// serial stream. Every setting yields a byte-identical dataset.
 	MatchWindow int
+	// ExportFormat selects the on-disk encoding used by Export
+	// (the zero value is CSV).
+	ExportFormat table.Format
+	// ExportWorkers bounds how many tables Export writes concurrently:
+	// 0 inherits Workers (and thus NumCPU when that is 0 too), 1 writes
+	// one table at a time. File bytes are identical at any value.
+	ExportWorkers int
 	// Logf, if non-nil, receives progress lines. It may be called from
 	// multiple scheduler workers concurrently.
 	Logf func(format string, args ...any)

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"time"
+
+	"datasynth/internal/table"
+)
+
+// Export writes the generated dataset to dir using the engine's
+// ExportFormat and ExportWorkers knobs, and folds the export wall time
+// into the run report — so after Generate+Export the reported critical
+// path covers the whole generate→structure→match→export pipeline, not
+// just the in-memory half. The write is concurrent (one worker per
+// table) and atomic (temp files + rename; a failure leaves no partial
+// directory); see table.(*Dataset).Export.
+func (e *Engine) Export(d *table.Dataset, dir string) error {
+	start := time.Now()
+	files, err := d.Export(dir, table.ExportOptions{Format: e.ExportFormat, Workers: e.exportWorkers()})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	e.reportMu.Lock()
+	if e.report != nil {
+		e.report.addExport(files, wall)
+	}
+	e.reportMu.Unlock()
+	e.logf("export: %d %s files in %v -> %s", len(files), e.ExportFormat, wall, dir)
+	return nil
+}
+
+// exportWorkers resolves the export worker bound: an explicit
+// ExportWorkers wins, otherwise the engine-wide Workers bound applies
+// (0 still meaning NumCPU, resolved downstream).
+func (e *Engine) exportWorkers() int {
+	if e.ExportWorkers != 0 {
+		return e.ExportWorkers
+	}
+	return e.Workers
+}

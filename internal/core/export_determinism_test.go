@@ -7,9 +7,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"datasynth/internal/depgraph"
+	"datasynth/internal/table"
 )
 
 // hashDir returns the SHA-256 of every regular file in dir, keyed by
@@ -44,9 +46,9 @@ func hashDir(t *testing.T, dir string) map[string]string {
 }
 
 // exportHashes generates the schema at the given worker count and
-// match window, exports it as CSV and JSONL, and returns the per-file
-// SHA-256 set.
-func exportHashes(t *testing.T, workers, window int) map[string]string {
+// match window, exports it in every format at the given export worker
+// count, and returns the per-file SHA-256 set.
+func exportHashes(t *testing.T, workers, window, exportWorkers int) map[string]string {
 	t.Helper()
 	e := New(quickstartSchema())
 	e.Workers = workers
@@ -56,20 +58,15 @@ func exportHashes(t *testing.T, workers, window int) map[string]string {
 		t.Fatalf("workers=%d window=%d: %v", workers, window, err)
 	}
 	dir := t.TempDir()
-	csvDir := filepath.Join(dir, "csv")
-	jsonlDir := filepath.Join(dir, "jsonl")
-	if err := d.WriteDir(csvDir); err != nil {
-		t.Fatal(err)
-	}
-	if err := d.WriteDirJSONL(jsonlDir); err != nil {
-		t.Fatal(err)
-	}
 	hashes := map[string]string{}
-	for name, h := range hashDir(t, csvDir) {
-		hashes["csv/"+name] = h
-	}
-	for name, h := range hashDir(t, jsonlDir) {
-		hashes["jsonl/"+name] = h
+	for _, format := range []table.Format{table.FormatCSV, table.FormatJSONL, table.FormatColumnar} {
+		sub := filepath.Join(dir, format.String())
+		if _, err := d.Export(sub, table.ExportOptions{Format: format, Workers: exportWorkers}); err != nil {
+			t.Fatalf("workers=%d window=%d %v: %v", workers, window, format, err)
+		}
+		for name, h := range hashDir(t, sub) {
+			hashes[format.String()+"/"+name] = h
+		}
 	}
 	return hashes
 }
@@ -78,31 +75,123 @@ func exportHashes(t *testing.T, workers, window int) map[string]string {
 // contract: a Figure-3-style schema (LFR structure + SBM-Part match +
 // parallel property fill) must export byte-identical node, edge and
 // property files — hash-verified on disk, not just in memory — at
-// every worker count and every SBM-Part window size.
+// every scheduler worker count, every SBM-Part window size, every
+// export worker count and in every export format ("per-seed,
+// worker-invariant, format-stable").
 func TestExportedDatasetGoldenDeterminism(t *testing.T) {
-	ref := exportHashes(t, 1, -1) // sequential plan, serial stream
-	if len(ref) != 4 {
-		t.Fatalf("expected 4 exported files (csv+jsonl × nodes+edges), got %d", len(ref))
+	ref := exportHashes(t, 1, -1, 1) // sequential plan, serial stream, serial export
+	if len(ref) != 6 {
+		t.Fatalf("expected 6 exported files (csv+jsonl+columnar × nodes+edges), got %d", len(ref))
 	}
-	configs := []struct{ workers, window int }{
-		{1, 64},
-		{1, 1 << 20}, // whole stream in one window
-		{runtime.NumCPU(), -1},
-		{runtime.NumCPU(), 0}, // auto window
-		{runtime.NumCPU(), 64},
-		{4, 512},
+	configs := []struct{ workers, window, exportWorkers int }{
+		{1, 64, 1},
+		{1, 1 << 20, 4}, // whole stream in one window
+		{runtime.NumCPU(), -1, runtime.NumCPU()},
+		{runtime.NumCPU(), 0, 0}, // auto window, auto export workers
+		{runtime.NumCPU(), 64, 8},
+		{4, 512, 2},
 	}
 	for _, cfg := range configs {
-		got := exportHashes(t, cfg.workers, cfg.window)
+		got := exportHashes(t, cfg.workers, cfg.window, cfg.exportWorkers)
 		if len(got) != len(ref) {
 			t.Fatalf("workers=%d window=%d: %d files, want %d", cfg.workers, cfg.window, len(got), len(ref))
 		}
 		for name, h := range ref {
 			if got[name] != h {
-				t.Errorf("workers=%d window=%d: %s hash %s, want %s",
-					cfg.workers, cfg.window, name, got[name], h)
+				t.Errorf("workers=%d window=%d exportWorkers=%d: %s hash %s, want %s",
+					cfg.workers, cfg.window, cfg.exportWorkers, name, got[name], h)
 			}
 		}
+	}
+}
+
+// TestColumnarExportRoundTripsThroughEngine: the binary format must
+// reproduce an engine-generated dataset exactly — counts, structure
+// and every property value — when loaded back with OpenColumnar.
+func TestColumnarExportRoundTripsThroughEngine(t *testing.T) {
+	e := New(quickstartSchema())
+	d, err := e.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := d.WriteDirColumnar(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := table.OpenColumnar(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for typ, n := range d.NodeCounts {
+		if got.NodeCounts[typ] != n {
+			t.Errorf("count[%s] = %d, want %d", typ, got.NodeCounts[typ], n)
+		}
+		for i, want := range d.NodeProps[typ] {
+			pt := got.NodeProps[typ][i]
+			if pt.Name != want.Name || pt.Kind != want.Kind || pt.Len() != want.Len() {
+				t.Fatalf("prop %s malformed after round trip", want.Name)
+			}
+			for id := int64(0); id < want.Len(); id++ {
+				if pt.Value(id) != want.Value(id) {
+					t.Fatalf("%s row %d: %v, want %v", want.Name, id, pt.Value(id), want.Value(id))
+				}
+			}
+		}
+	}
+	for typ, want := range d.Edges {
+		et := got.Edges[typ]
+		if et == nil || et.Len() != want.Len() {
+			t.Fatalf("edge table %s missing or wrong length", typ)
+		}
+		for i := range want.Tail {
+			if et.Tail[i] != want.Tail[i] || et.Head[i] != want.Head[i] {
+				t.Fatalf("edge %s row %d differs", typ, i)
+			}
+		}
+	}
+}
+
+// TestEngineExportReport: Engine.Export must fold the export into the
+// run report — end-to-end wall, per-file stats, and an export hop
+// terminating the critical path.
+func TestEngineExportReport(t *testing.T) {
+	e := New(quickstartSchema())
+	e.ExportFormat = table.FormatColumnar
+	d, err := e.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planPath := len(e.Report().CriticalPath)
+	if err := e.Export(d, filepath.Join(t.TempDir(), "out")); err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Report()
+	if rep.ExportTotal <= 0 {
+		t.Fatal("export wall time not recorded")
+	}
+	if len(rep.ExportFiles) == 0 {
+		t.Fatal("no per-file export stats")
+	}
+	for _, f := range rep.ExportFiles {
+		if f.Bytes <= 0 || f.Duration < 0 {
+			t.Errorf("file stat %+v malformed", f)
+		}
+		if filepath.Ext(f.Name) != table.ColumnarExt {
+			t.Errorf("file %s does not use the configured format", f.Name)
+		}
+	}
+	if rep.EndToEnd != rep.Total+rep.ExportTotal {
+		t.Errorf("EndToEnd = %v, want %v", rep.EndToEnd, rep.Total+rep.ExportTotal)
+	}
+	if len(rep.CriticalPath) != planPath+1 {
+		t.Fatalf("critical path has %d steps, want %d", len(rep.CriticalPath), planPath+1)
+	}
+	last := rep.CriticalPath[len(rep.CriticalPath)-1]
+	if len(last) < 8 || last[:7] != "export:" {
+		t.Errorf("critical path does not end in an export hop: %q", last)
+	}
+	if s := rep.String(); !strings.Contains(s, "end-to-end") || !strings.Contains(s, "export:") {
+		t.Errorf("report rendering missing export section:\n%s", s)
 	}
 }
 

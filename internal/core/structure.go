@@ -429,7 +429,7 @@ func (e *Engine) matchMonopartite(st *runState, edge *schema.EdgeType, et *table
 	}
 	et.Remap(res.Mapping)
 	l1, _ := stats.L1(target, res.Observed)
-	e.logf("match %s: k=%d L1=%.4f", edge.Name, k, l1)
+	e.logf("match %s: k=%d L1=%.4f sbm=%v", edge.Name, k, l1, res.PartitionTime)
 	st.setMatched(edge.Name)
 	return nil
 }

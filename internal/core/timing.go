@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"datasynth/internal/depgraph"
+	"datasynth/internal/table"
 )
 
 // Scheduler observability: every Generate records per-task wall time
@@ -31,18 +32,50 @@ type TaskTiming struct {
 	Critical bool
 }
 
-// RunReport summarises one Generate execution.
+// RunReport summarises one Generate execution, plus the export that
+// followed it when the engine's Export ran.
 type RunReport struct {
 	// Total is the wall time of the whole plan execution.
 	Total time.Duration
 	// Timings holds one entry per task, in plan (topological) order.
 	Timings []TaskTiming
 	// CriticalPath lists the task IDs of the longest-duration
-	// dependency chain, in execution order.
+	// dependency chain, in execution order. After Export it gains a
+	// final "export:<file>" hop for the slowest exported file.
 	CriticalPath []string
 	// CriticalPathTime is the summed duration along CriticalPath — the
-	// lower bound on plan wall time at unbounded parallelism.
+	// lower bound on plan wall time at unbounded parallelism. Export
+	// extends it by the slowest file: files write concurrently, so the
+	// largest single file is the export floor.
 	CriticalPathTime time.Duration
+
+	// ExportTotal is the export wall time (zero until Engine.Export
+	// runs) and ExportFiles the per-file breakdown.
+	ExportTotal time.Duration
+	ExportFiles []table.FileStat
+	// EndToEnd is Total + ExportTotal: the generate→export pipeline
+	// wall time the -timings report leads with.
+	EndToEnd time.Duration
+}
+
+// addExport folds an export pass into the report. Export depends on
+// every task, so the critical path extends by the slowest file (the
+// floor of the concurrent write phase), and EndToEnd accumulates the
+// full export wall.
+func (r *RunReport) addExport(files []table.FileStat, wall time.Duration) {
+	r.ExportTotal += wall
+	r.ExportFiles = append(r.ExportFiles, files...)
+	r.EndToEnd = r.Total + r.ExportTotal
+	slowest := -1
+	for i := range files {
+		if slowest == -1 || files[i].Duration > files[slowest].Duration {
+			slowest = i
+		}
+	}
+	if slowest >= 0 {
+		r.CriticalPath = append(r.CriticalPath, "export:"+files[slowest].Name)
+		r.CriticalPathTime += files[slowest].Duration
+	}
 }
 
 // buildReport computes the critical path from per-task durations.
@@ -95,9 +128,16 @@ func (r *RunReport) String() string {
 	copy(rows, r.Timings)
 	sort.SliceStable(rows, func(a, b int) bool { return rows[a].Duration > rows[b].Duration })
 	var b strings.Builder
-	fmt.Fprintf(&b, "run: total %v, critical path %v over %d/%d tasks\n",
-		r.Total.Round(time.Microsecond), r.CriticalPathTime.Round(time.Microsecond),
-		len(r.CriticalPath), len(r.Timings))
+	if r.ExportTotal > 0 {
+		fmt.Fprintf(&b, "run: end-to-end %v (plan %v + export %v), critical path %v over %d steps\n",
+			r.EndToEnd.Round(time.Microsecond), r.Total.Round(time.Microsecond),
+			r.ExportTotal.Round(time.Microsecond), r.CriticalPathTime.Round(time.Microsecond),
+			len(r.CriticalPath))
+	} else {
+		fmt.Fprintf(&b, "run: total %v, critical path %v over %d/%d tasks\n",
+			r.Total.Round(time.Microsecond), r.CriticalPathTime.Round(time.Microsecond),
+			len(r.CriticalPath), len(r.Timings))
+	}
 	for _, t := range rows {
 		mark := " "
 		if t.Critical {
@@ -105,6 +145,10 @@ func (r *RunReport) String() string {
 		}
 		fmt.Fprintf(&b, "%s %-40s %12v  (start +%v)\n", mark, t.ID,
 			t.Duration.Round(time.Microsecond), t.Start.Round(time.Microsecond))
+	}
+	for _, f := range r.ExportFiles {
+		fmt.Fprintf(&b, "  %-40s %12v  (%d bytes)\n", "export:"+f.Name,
+			f.Duration.Round(time.Microsecond), f.Bytes)
 	}
 	return b.String()
 }

@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"fmt"
+
+	"datasynth/internal/table"
+)
+
+// Dataset materialises the panel as an exportable table.Dataset: one
+// node type carrying the matched value as an int column, a string
+// label column ("v<idx>") and a normalised float score, plus the
+// generated edge table. This is what the export benchmarks and the
+// eval CLI write to disk — a full-size dataset with every value kind a
+// real schema produces, derived deterministically from the panel seed.
+func (r *Result) Dataset() (*table.Dataset, error) {
+	if r.Assign == nil || r.Table == nil {
+		return nil, fmt.Errorf("exp: result of %s carries no assignment/table", r.Panel.Label())
+	}
+	n := r.Nodes
+	k := r.Panel.K
+	value := table.NewPropertyTable("Node.value", table.KindInt, n)
+	label := table.NewPropertyTable("Node.label", table.KindString, n)
+	score := table.NewPropertyTable("Node.score", table.KindFloat, n)
+	labels := make([]string, k)
+	for v := 0; v < k; v++ {
+		labels[v] = fmt.Sprintf("v%02d", v)
+	}
+	for id := int64(0); id < n; id++ {
+		v := r.Assign[id]
+		value.SetInt(id, v)
+		label.SetString(id, labels[v])
+		score.SetFloat(id, float64(v)/float64(k))
+	}
+	d := table.NewDataset()
+	d.NodeCounts["Node"] = n
+	d.NodeProps["Node"] = []*table.PropertyTable{value, label, score}
+	d.Edges["edge"] = r.Table
+	return d, nil
+}

@@ -12,6 +12,17 @@
 //     the nodes of g through SBM-Part in random order.
 //  5. Compare the expected and observed CDFs over value pairs sorted by
 //     decreasing expected probability.
+//
+// Panels are independent — each derives every RNG stream from its own
+// seed — so the harness fans them out: RunPanels executes a panel list
+// on a bounded worker pool and streams results back in submission
+// order, byte-identical to the serial loop at every worker count
+// (TestRunPanelsMatchesSerial pins this). RunMuSweep pools its sweep
+// points the same way. The one deliberate exception is RunTiming,
+// which pins Workers=1 and runs panels one at a time so its wall-clock
+// numbers remain the paper's single-thread measurement. A panel result
+// carries the full assignment and edge table (Result.Assign/.Table),
+// so Result.Dataset can materialise it as an exportable property graph.
 package exp
 
 import (
@@ -97,6 +108,12 @@ type Result struct {
 	SBMTime  time.Duration // SBM-Part matching (the paper's timing claim)
 	Expected *stats.Joint
 	Observed *stats.Joint
+	// Assign is SBM-Part's value assignment per structure node and
+	// Table the generated edge table — plumbed out so a panel can be
+	// materialised as an exportable dataset (see Result.Dataset) instead
+	// of existing only as summary statistics.
+	Assign []int64
+	Table  *table.EdgeTable
 }
 
 // RunPanel executes the full protocol for one panel.
@@ -220,6 +237,7 @@ func RunPanel(p Panel) (*Result, error) {
 		CDF: cdf, L1: l1, KS: cdf.KS(), JS: js,
 		GenTime: genTime, LDGTime: ldgTime, SBMTime: sbmTime,
 		Expected: expected, Observed: observed,
+		Assign: assign, Table: et,
 	}, nil
 }
 

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel panel fan-out. The panels of a figure are fully independent
+// — each owns its seed and every RNG stream derives from it — so they
+// can run concurrently without touching the per-panel determinism
+// contract: RunPanels produces results byte-identical to the serial
+// RunPanel loop at every worker count, and delivers them to the caller
+// in submission order as soon as each prefix of the panel list has
+// finished (streaming, not batch). The timing experiment (RunTiming)
+// deliberately does NOT go through this pool: its panels pin Workers=1
+// and run one at a time so the measured wall times stay the paper's
+// single-thread, single-stream numbers.
+
+// RunPanels executes the panels on a bounded worker pool and calls
+// emit once per panel, in submission order, from the calling
+// goroutine. workers <= 0 means NumCPU; workers == 1 reproduces the
+// serial loop exactly, including its stop-at-first-error behavior: the
+// first panel error (in submission order) aborts the stream, and a
+// non-nil error from emit does the same. Panels after a failed one may
+// have started speculatively; their results are discarded.
+func RunPanels(panels []Panel, workers int, emit func(*Result) error) error {
+	n := len(panels)
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	type outcome struct {
+		r   *Result
+		err error
+	}
+	// One buffered slot per panel: workers never block on delivery, so
+	// an early consumer exit cannot deadlock a worker mid-send. The
+	// inflight semaphore bounds how far dispatch runs ahead of the
+	// ordered consumer — a Result retains the panel's full edge table,
+	// so without it a slow early panel would let the pool park every
+	// later panel's graph in memory at once. Capacity workers+1 keeps
+	// every worker busy while capping retained results; panel i is
+	// always among the first unemitted dispatches, so the consumer's
+	// wait can starve only if no token is out — impossible while it
+	// still has panels to emit.
+	results := make([]chan outcome, n)
+	for i := range results {
+		results[i] = make(chan outcome, 1)
+	}
+	jobs := make(chan int)
+	done := make(chan struct{})
+	inflight := make(chan struct{}, workers+1)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case inflight <- struct{}{}:
+			case <-done:
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := RunPanel(panels[i])
+				results[i] <- outcome{r, err}
+			}
+		}()
+	}
+
+	var firstErr error
+	for i := 0; i < n; i++ {
+		o := <-results[i]
+		<-inflight
+		if o.err != nil {
+			firstErr = fmt.Errorf("panel %s: %w", panels[i].Label(), o.err)
+			break
+		}
+		if err := emit(o.r); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+	return firstErr
+}
+
+// CollectPanels runs the panels on a bounded pool and returns all
+// results in submission order — RunPanels for callers that want the
+// batch rather than the stream.
+func CollectPanels(panels []Panel, workers int) ([]*Result, error) {
+	out := make([]*Result, 0, len(panels))
+	err := RunPanels(panels, workers, func(r *Result) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

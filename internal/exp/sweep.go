@@ -6,6 +6,7 @@ import (
 
 	"datasynth/internal/graph"
 	"datasynth/internal/match"
+	"datasynth/internal/par"
 	"datasynth/internal/sgen"
 	"datasynth/internal/stats"
 	"datasynth/internal/xrand"
@@ -38,59 +39,76 @@ type MuPoint struct {
 }
 
 // RunMuSweep measures matching fidelity across mixing parameters.
-func RunMuSweep(n int64, k int, mus []float64, seed uint64) ([]MuPoint, error) {
-	out := make([]MuPoint, 0, len(mus))
-	for i, mu := range mus {
-		lfr := sgen.NewLFR(seed + uint64(i))
-		lfr.Mu = mu
-		et, err := lfr.Run(n)
+// Points are independent (each derives its randomness from seed and
+// its index), so they fan out onto a bounded pool like figure panels
+// do: workers <= 0 means NumCPU, 1 runs serially; the measured
+// fidelity numbers are identical at every worker count.
+func RunMuSweep(n int64, k int, mus []float64, seed uint64, workers int) ([]MuPoint, error) {
+	out := make([]MuPoint, len(mus))
+	err := par.ForEach(len(mus), workers, func(i int) error {
+		pt, err := runMuPoint(n, k, mus[i], seed, i)
 		if err != nil {
-			return nil, fmt.Errorf("exp: mu=%v: %w", mu, err)
+			return err
 		}
-		g, err := graph.FromEdgeTable(et, n)
-		if err != nil {
-			return nil, err
-		}
-		sizes, err := xrand.GroupSizes(n, k, 0.4)
-		if err != nil {
-			return nil, err
-		}
-		ldg, err := match.NewLDG(sizes)
-		if err != nil {
-			return nil, err
-		}
-		truth, err := ldg.Partition(g, match.RandomOrder(n, seed^1))
-		if err != nil {
-			return nil, err
-		}
-		expected, err := stats.EmpiricalJoint(et, truth, k)
-		if err != nil {
-			return nil, err
-		}
-		part, err := match.NewSBMPart(expected, sizes)
-		if err != nil {
-			return nil, err
-		}
-		part.Seed = seed ^ 3
-		assign, err := part.Partition(g, match.RandomOrder(n, seed^2))
-		if err != nil {
-			return nil, err
-		}
-		observed, err := stats.EmpiricalJoint(et, assign, k)
-		if err != nil {
-			return nil, err
-		}
-		l1, err := stats.L1(expected, observed)
-		if err != nil {
-			return nil, err
-		}
-		cdf, err := stats.NewCDFPair(expected, observed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, MuPoint{Mu: mu, L1: l1, KS: cdf.KS()})
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// runMuPoint measures one sweep point.
+func runMuPoint(n int64, k int, muParam float64, seed uint64, idx int) (MuPoint, error) {
+	lfr := sgen.NewLFR(seed + uint64(idx))
+	lfr.Mu = muParam
+	et, err := lfr.Run(n)
+	if err != nil {
+		return MuPoint{}, fmt.Errorf("exp: mu=%v: %w", muParam, err)
+	}
+	g, err := graph.FromEdgeTable(et, n)
+	if err != nil {
+		return MuPoint{}, err
+	}
+	sizes, err := xrand.GroupSizes(n, k, 0.4)
+	if err != nil {
+		return MuPoint{}, err
+	}
+	ldg, err := match.NewLDG(sizes)
+	if err != nil {
+		return MuPoint{}, err
+	}
+	truth, err := ldg.Partition(g, match.RandomOrder(n, seed^1))
+	if err != nil {
+		return MuPoint{}, err
+	}
+	expected, err := stats.EmpiricalJoint(et, truth, k)
+	if err != nil {
+		return MuPoint{}, err
+	}
+	part, err := match.NewSBMPart(expected, sizes)
+	if err != nil {
+		return MuPoint{}, err
+	}
+	part.Seed = seed ^ 3
+	assign, err := part.Partition(g, match.RandomOrder(n, seed^2))
+	if err != nil {
+		return MuPoint{}, err
+	}
+	observed, err := stats.EmpiricalJoint(et, assign, k)
+	if err != nil {
+		return MuPoint{}, err
+	}
+	l1, err := stats.L1(expected, observed)
+	if err != nil {
+		return MuPoint{}, err
+	}
+	cdf, err := stats.NewCDFPair(expected, observed)
+	if err != nil {
+		return MuPoint{}, err
+	}
+	return MuPoint{Mu: muParam, L1: l1, KS: cdf.KS()}, nil
 }
 
 // WriteMuSweep renders the sweep as TSV.

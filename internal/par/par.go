@@ -1,0 +1,75 @@
+// Package par provides the one concurrency primitive the outer
+// pipeline layers share: a bounded-worker fan-out over an index range.
+// The export pipeline (table) and the evaluation sweeps (exp) each
+// need "run fn over [0,n) on up to W workers, stop on error" — keeping
+// a single implementation pins the worker-resolution and
+// error-propagation semantics in one place.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0) … fn(n-1) on up to workers goroutines
+// (workers <= 0 means NumCPU, 1 runs the plain serial loop). Indices
+// are claimed in order; after the first failure no new index is
+// claimed, in-flight calls finish, and the error of the
+// lowest-indexed failure observed is returned — matching what the
+// serial loop would have surfaced. fn must treat its index as the only
+// shared state it may write (e.g. one output slot per index).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil || i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,61 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 53
+		var hits [n]atomic.Int32
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestError(t *testing.T) {
+	// Indices 10 and 30 fail; whichever order workers hit them, the
+	// reported error must be the lowest-indexed one observed — and with
+	// workers=1 exactly the serial loop's first error.
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEach(50, workers, func(i int) error {
+			ran.Add(1)
+			if i == 10 || i == 30 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if err.Error() != "fail at 10" && workers == 1 {
+			t.Fatalf("serial error = %v", err)
+		}
+		if err.Error() == "fail at 30" && workers > 1 {
+			// 30 can only win if 10 was never attempted — impossible:
+			// indices are claimed in order, so 10 is claimed before 30.
+			t.Fatalf("workers=%d: higher-index error won: %v", workers, err)
+		}
+		if int(ran.Load()) >= 50 {
+			t.Errorf("workers=%d: no early stop (%d calls)", workers, ran.Load())
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func putUvarintLen(buf []byte, v uint64) int {
+	i := 0
+	for v >= 0x80 {
+		buf[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	buf[i] = byte(v)
+	return i + 1
+}
+
+// Columnar round-trip fidelity, mirroring roundtrip_test.go: writing
+// with WriteDirColumnar and loading with OpenColumnar must reproduce
+// every in-memory value exactly. Unlike the text formats there is no
+// formatting layer at all — ints, dates and float bit patterns travel
+// raw — so equality here is bit-for-bit by construction, and the test
+// pins that contract.
+
+// assertDatasetsEqual deep-compares two datasets value by value.
+func assertDatasetsEqual(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if len(got.NodeCounts) != len(want.NodeCounts) {
+		t.Fatalf("node types = %d, want %d", len(got.NodeCounts), len(want.NodeCounts))
+	}
+	for typ, n := range want.NodeCounts {
+		if got.NodeCounts[typ] != n {
+			t.Errorf("NodeCounts[%s] = %d, want %d", typ, got.NodeCounts[typ], n)
+		}
+		wantProps, gotProps := want.NodeProps[typ], got.NodeProps[typ]
+		if len(gotProps) != len(wantProps) {
+			t.Fatalf("%s has %d props, want %d", typ, len(gotProps), len(wantProps))
+		}
+		for i, wpt := range wantProps {
+			assertPTEqual(t, wpt, gotProps[i])
+		}
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("edge types = %d, want %d", len(got.Edges), len(want.Edges))
+	}
+	for typ, wet := range want.Edges {
+		get := got.Edges[typ]
+		if get == nil {
+			t.Fatalf("edge type %s missing", typ)
+		}
+		if get.Name != wet.Name || get.Len() != wet.Len() {
+			t.Fatalf("edge %s: name/len %q/%d, want %q/%d", typ, get.Name, get.Len(), wet.Name, wet.Len())
+		}
+		for i := range wet.Tail {
+			if get.Tail[i] != wet.Tail[i] || get.Head[i] != wet.Head[i] {
+				t.Errorf("edge %s row %d: (%d,%d), want (%d,%d)",
+					typ, i, get.Tail[i], get.Head[i], wet.Tail[i], wet.Head[i])
+			}
+		}
+		wantProps, gotProps := want.EdgeProps[typ], got.EdgeProps[typ]
+		if len(gotProps) != len(wantProps) {
+			t.Fatalf("%s has %d edge props, want %d", typ, len(gotProps), len(wantProps))
+		}
+		for i, wpt := range wantProps {
+			assertPTEqual(t, wpt, gotProps[i])
+		}
+	}
+}
+
+func assertPTEqual(t *testing.T, want, got *PropertyTable) {
+	t.Helper()
+	if got.Name != want.Name || got.Kind != want.Kind || got.Len() != want.Len() {
+		t.Fatalf("PT %s: name/kind/len %q/%v/%d, want %q/%v/%d",
+			want.Name, got.Name, got.Kind, got.Len(), want.Name, want.Kind, want.Len())
+	}
+	for id := int64(0); id < want.Len(); id++ {
+		switch want.Kind {
+		case KindString:
+			if got.String(id) != want.String(id) {
+				t.Errorf("%s row %d: %q, want %q", want.Name, id, got.String(id), want.String(id))
+			}
+		case KindFloat:
+			// Bit equality, not ==: the format must preserve NaNs and
+			// signed zeros exactly.
+			if gotBits, wantBits := floatBits(got.Float(id)), floatBits(want.Float(id)); gotBits != wantBits {
+				t.Errorf("%s row %d: %v (bits %x), want %v (bits %x)",
+					want.Name, id, got.Float(id), gotBits, want.Float(id), wantBits)
+			}
+		default:
+			if got.Int(id) != want.Int(id) {
+				t.Errorf("%s row %d: %d, want %d", want.Name, id, got.Int(id), want.Int(id))
+			}
+		}
+	}
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	d := roundTripDataset()
+	dir := t.TempDir()
+	if err := d.WriteDirColumnar(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"nodes_User.dsc", "edges_follows.dsc"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("expected %s: %v", name, err)
+		}
+	}
+	got, err := OpenColumnar(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, d, got)
+}
+
+func TestColumnarZeroPropertyNodeType(t *testing.T) {
+	// A bare join type has a count but no columns; the header alone
+	// must carry it through the round trip.
+	d := NewDataset()
+	d.NodeCounts["Bare"] = 7
+	et := NewEdgeTable("self", 1)
+	et.Add(0, 6)
+	d.Edges["self"] = et
+	dir := t.TempDir()
+	if err := d.WriteDirColumnar(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenColumnar(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeCounts["Bare"] != 7 {
+		t.Errorf("Bare count = %d, want 7", got.NodeCounts["Bare"])
+	}
+	if len(got.NodeProps["Bare"]) != 0 {
+		t.Errorf("Bare has %d props", len(got.NodeProps["Bare"]))
+	}
+}
+
+func TestColumnarSingleTableWriters(t *testing.T) {
+	d := roundTripDataset()
+	var buf bytes.Buffer
+	if err := WriteNodeColumnar(&buf, "User", 5, d.NodeProps["User"]); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ReadColumnarTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.TypeName != "User" || ct.Rows != 5 || ct.Edges != nil || len(ct.Props) != 4 {
+		t.Fatalf("decoded node table wrong: %+v", ct)
+	}
+	buf.Reset()
+	if err := WriteEdgeColumnar(&buf, d.Edges["follows"], d.EdgeProps["follows"]); err != nil {
+		t.Fatal(err)
+	}
+	ct, err = ReadColumnarTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Edges == nil || ct.Edges.Len() != 3 || len(ct.Props) != 1 {
+		t.Fatalf("decoded edge table wrong: %+v", ct)
+	}
+}
+
+func TestColumnarWriterValidatesLengths(t *testing.T) {
+	short := NewPropertyTable("T.x", KindInt, 2)
+	if err := WriteNodeColumnar(&bytes.Buffer{}, "T", 3, []*PropertyTable{short}); err == nil {
+		t.Error("ragged node props should fail")
+	}
+	et := NewEdgeTable("e", 1)
+	et.Add(0, 1)
+	if err := WriteEdgeColumnar(&bytes.Buffer{}, et, []*PropertyTable{short}); err == nil {
+		t.Error("ragged edge props should fail")
+	}
+}
+
+func TestColumnarDetectsCorruption(t *testing.T) {
+	d := roundTripDataset()
+	dir := t.TempDir()
+	if err := d.WriteDirColumnar(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "nodes_User.dsc")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte deep in the file: the block CRC must catch it.
+	flipped := bytes.Clone(raw)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := ReadColumnarTable(bytes.NewReader(flipped)); err == nil {
+		t.Error("bit flip not detected")
+	}
+
+	// Truncation must fail cleanly, not hang or panic.
+	for _, cut := range []int{3, len(raw) / 3, len(raw) - 2} {
+		if _, err := ReadColumnarTable(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+
+	// Wrong magic.
+	bad := bytes.Clone(raw)
+	copy(bad, "NOPE")
+	if _, err := ReadColumnarTable(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic error = %v", err)
+	}
+
+	// Trailing garbage.
+	if _, err := ReadColumnarTable(bytes.NewReader(append(bytes.Clone(raw), 0x00))); err == nil {
+		t.Error("trailing bytes not detected")
+	}
+}
+
+// TestColumnarRejectsAbsurdRowCount: a crafted header whose rows field
+// is 2^64-1 (int64 -1) must return a corruption error, not panic in
+// make() or attempt a giant allocation.
+func TestColumnarRejectsAbsurdRowCount(t *testing.T) {
+	craft := func(rows uint64) []byte {
+		var buf bytes.Buffer
+		buf.WriteString("DSC1")
+		buf.WriteByte('N')
+		buf.Write([]byte{1, 'T'}) // type name "T"
+		var scratch [10]byte
+		buf.Write(scratch[:putUvarintLen(scratch[:], rows)])
+		buf.WriteByte(1)             // ncols = 1
+		buf.Write([]byte{3, 'T', '.', 'x'}) // column name "T.x"
+		buf.WriteByte(byte(KindString))
+		buf.Write([]byte{0})                // empty block payload length
+		buf.Write([]byte{0, 0, 0, 0})       // CRC of empty payload
+		return buf.Bytes()
+	}
+	for _, rows := range []uint64{^uint64(0), maxColumnarRows + 1} {
+		if _, err := ReadColumnarTable(bytes.NewReader(craft(rows))); err == nil {
+			t.Errorf("rows=%d accepted", rows)
+		} else if !strings.Contains(err.Error(), "row count") {
+			t.Errorf("rows=%d: error %v is not the row-count guard", rows, err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package table
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"datasynth/internal/par"
+)
+
+// Concurrent, atomic dataset export. Tables are independent once
+// generated, so the export fan-out writes one file per table on a
+// bounded worker pool. Every file is staged as a hidden temp file and
+// the whole directory commits with a rename pass only after every
+// table succeeded — a failed export never leaves a partial directory,
+// and the bytes of every file are identical at any worker count (each
+// worker owns its file end to end; no output interleaves).
+
+// Format selects the on-disk dataset encoding.
+type Format int
+
+// Supported export formats.
+const (
+	// FormatCSV writes one CSV per type (nodes_<T>.csv, edges_<T>.csv),
+	// the bulk-loader layout. The zero value, so it is the default.
+	FormatCSV Format = iota
+	// FormatJSONL writes one JSON object per row (*.jsonl).
+	FormatJSONL
+	// FormatColumnar writes the binary columnar format (*.dsc) for bulk
+	// loads; see columnar.go for the layout.
+	FormatColumnar
+)
+
+// String returns the CLI spelling of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatCSV:
+		return "csv"
+	case FormatJSONL:
+		return "jsonl"
+	case FormatColumnar:
+		return "columnar"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// Ext returns the file extension of the format, dot included.
+func (f Format) Ext() string {
+	switch f {
+	case FormatJSONL:
+		return ".jsonl"
+	case FormatColumnar:
+		return ".dsc"
+	default:
+		return ".csv"
+	}
+}
+
+// ParseFormat parses a CLI format name.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "csv":
+		return FormatCSV, nil
+	case "jsonl":
+		return FormatJSONL, nil
+	case "columnar", "dsc":
+		return FormatColumnar, nil
+	default:
+		return 0, fmt.Errorf("table: unknown export format %q (want csv, jsonl or columnar)", s)
+	}
+}
+
+// ExportOptions configures Dataset.Export.
+type ExportOptions struct {
+	// Format selects the encoding (default CSV).
+	Format Format
+	// Workers bounds how many tables are written concurrently:
+	// 0 = NumCPU, 1 = one table at a time. File bytes are identical at
+	// every worker count.
+	Workers int
+}
+
+// FileStat reports one exported file.
+type FileStat struct {
+	// Name is the file name within the export directory.
+	Name string
+	// Bytes is the final file size.
+	Bytes int64
+	// Duration is the wall time spent encoding and writing the file.
+	Duration time.Duration
+}
+
+// exportJob is one file of an export: a name plus a writer closure.
+type exportJob struct {
+	file  string
+	write func(io.Writer) error
+}
+
+// exportJobs enumerates the dataset's files in deterministic order:
+// node types sorted by name, then edge types sorted by name.
+func (d *Dataset) exportJobs(f Format) []exportJob {
+	nodeTypes := make([]string, 0, len(d.NodeCounts))
+	for t := range d.NodeCounts {
+		nodeTypes = append(nodeTypes, t)
+	}
+	sort.Strings(nodeTypes)
+	edgeTypes := make([]string, 0, len(d.Edges))
+	for t := range d.Edges {
+		edgeTypes = append(edgeTypes, t)
+	}
+	sort.Strings(edgeTypes)
+
+	jobs := make([]exportJob, 0, len(nodeTypes)+len(edgeTypes))
+	for _, t := range nodeTypes {
+		t, props, count := t, d.NodeProps[t], d.NodeCounts[t]
+		var write func(io.Writer) error
+		switch f {
+		case FormatJSONL:
+			write = func(w io.Writer) error { return WriteNodeJSONL(w, t, props) }
+		case FormatColumnar:
+			write = func(w io.Writer) error { return WriteNodeColumnar(w, t, count, props) }
+		default:
+			write = func(w io.Writer) error { return WriteNodeCSV(w, t, props, NodeCSVOptions{}) }
+		}
+		jobs = append(jobs, exportJob{file: "nodes_" + t + f.Ext(), write: write})
+	}
+	for _, t := range edgeTypes {
+		t, et, props := t, d.Edges[t], d.EdgeProps[t]
+		// The dataset key is the authoritative edge type; if the table
+		// still carries its generator-internal name, export a renamed
+		// shallow view so formats that embed the name (JSONL labels,
+		// the columnar header) agree with the file name and the key
+		// survives an OpenColumnar round trip.
+		if et.Name != t {
+			et = &EdgeTable{Name: t, Tail: et.Tail, Head: et.Head}
+		}
+		var write func(io.Writer) error
+		switch f {
+		case FormatJSONL:
+			write = func(w io.Writer) error { return WriteEdgeJSONL(w, et, props) }
+		case FormatColumnar:
+			write = func(w io.Writer) error { return WriteEdgeColumnar(w, et, props) }
+		default:
+			write = func(w io.Writer) error { return WriteEdgeCSV(w, et, props, NodeCSVOptions{}) }
+		}
+		jobs = append(jobs, exportJob{file: "edges_" + t + f.Ext(), write: write})
+	}
+	return jobs
+}
+
+// exportTempName is the staging name of a file during export; the dot
+// prefix keeps half-written files visibly temporary.
+func exportTempName(file string) string { return "." + file + ".tmp" }
+
+// Export writes the dataset into dir in the requested format, one
+// worker per table up to opt.Workers. The export is all-or-nothing:
+// every file is staged as a temp file first and the set renames into
+// place only after all tables encoded successfully, so an encoding or
+// write error — ragged property columns, a full disk — leaves no
+// partial files behind. Returns one FileStat per file in deterministic
+// (sorted nodes, then sorted edges) order.
+func (d *Dataset) Export(dir string, opt ExportOptions) ([]FileStat, error) {
+	jobs := d.exportJobs(opt.Format)
+	if len(jobs) == 0 {
+		return nil, os.MkdirAll(dir, 0o755)
+	}
+	_, statErr := os.Stat(dir)
+	createdDir := os.IsNotExist(statErr)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cleanupDir := func() {
+		if createdDir {
+			os.Remove(dir) // best effort; fails (harmlessly) if non-empty
+		}
+	}
+
+	stats := make([]FileStat, len(jobs))
+	err := par.ForEach(len(jobs), opt.Workers, func(i int) error {
+		j := jobs[i]
+		start := time.Now()
+		tmp := filepath.Join(dir, exportTempName(j.file))
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		err = j.write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("table: writing %s: %w", j.file, err)
+		}
+		fi, err := os.Stat(tmp)
+		if err != nil {
+			return err
+		}
+		stats[i] = FileStat{Name: j.file, Bytes: fi.Size(), Duration: time.Since(start)}
+		return nil
+	})
+	if err != nil {
+		for _, j := range jobs {
+			os.Remove(filepath.Join(dir, exportTempName(j.file)))
+		}
+		cleanupDir()
+		return nil, err
+	}
+	// Commit phase: every table encoded cleanly; rename the staged set
+	// into place. Should a rename itself fail (exotic: the target name
+	// is occupied by a directory, the dir entry cannot be written),
+	// already-committed files stay — they may be the only remaining
+	// copy of their table when re-exporting over an existing dataset —
+	// and only the unrenamed temps are dropped.
+	for i, j := range jobs {
+		if err := os.Rename(filepath.Join(dir, exportTempName(j.file)), filepath.Join(dir, j.file)); err != nil {
+			for k := i; k < len(jobs); k++ {
+				os.Remove(filepath.Join(dir, exportTempName(jobs[k].file)))
+			}
+			cleanupDir()
+			return nil, fmt.Errorf("table: committing %s: %w", j.file, err)
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,308 @@
+package table
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// raggedDataset returns a dataset whose edge property row count does
+// not match its edge table — WriteEdge* must reject it, so any export
+// of the dataset fails partway through the job list.
+func raggedDataset() *Dataset {
+	d := roundTripDataset()
+	bad := NewPropertyTable("follows.bogus", KindInt, 99)
+	d.EdgeProps["follows"] = append(d.EdgeProps["follows"], bad)
+	return d
+}
+
+// TestExportAtomicityPartialWrite is the regression test for the old
+// WriteDir behavior, which left nodes_*.csv behind when a later edge
+// table failed. The export must stage everything in temp files and
+// leave the directory without a single file — temp or final — on error.
+func TestExportAtomicityPartialWrite(t *testing.T) {
+	for _, format := range []Format{FormatCSV, FormatJSONL, FormatColumnar} {
+		for _, workers := range []int{1, 4} {
+			d := raggedDataset()
+			dir := filepath.Join(t.TempDir(), "out")
+			_, err := d.Export(dir, ExportOptions{Format: format, Workers: workers})
+			if err == nil {
+				t.Fatalf("%v workers=%d: ragged dataset exported without error", format, workers)
+			}
+			if !strings.Contains(err.Error(), "bogus") {
+				t.Errorf("%v workers=%d: error %v does not name the bad column", format, workers, err)
+			}
+			entries, dirErr := os.ReadDir(dir)
+			if os.IsNotExist(dirErr) {
+				continue // directory we created was fully rolled back
+			}
+			if dirErr != nil {
+				t.Fatal(dirErr)
+			}
+			for _, ent := range entries {
+				t.Errorf("%v workers=%d: partial export left %s behind", format, workers, ent.Name())
+			}
+		}
+	}
+}
+
+// TestExportFailureKeepsForeignFiles: rolling back must not delete a
+// pre-existing directory or unrelated files in it.
+func TestExportFailureKeepsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	keep := filepath.Join(dir, "keep.txt")
+	if err := os.WriteFile(keep, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raggedDataset().Export(dir, ExportOptions{}); err == nil {
+		t.Fatal("ragged dataset exported without error")
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("pre-existing file removed by failed export: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after failed export, want only keep.txt", len(entries))
+	}
+}
+
+// hashExportDir hashes every file of one export configuration.
+func hashExportDir(t *testing.T, d *Dataset, format Format, workers int) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	stats, err := d.Export(dir, ExportOptions{Format: format, Workers: workers})
+	if err != nil {
+		t.Fatalf("%v workers=%d: %v", format, workers, err)
+	}
+	hashes := map[string]string{}
+	for _, st := range stats {
+		raw, err := os.ReadFile(filepath.Join(dir, st.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(raw)) != st.Bytes {
+			t.Errorf("%s: FileStat.Bytes = %d, file is %d", st.Name, st.Bytes, len(raw))
+		}
+		sum := sha256.Sum256(raw)
+		hashes[st.Name] = hex.EncodeToString(sum[:])
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(stats) {
+		t.Fatalf("%v workers=%d: %d files on disk, %d reported", format, workers, len(entries), len(stats))
+	}
+	return hashes
+}
+
+// TestExportConcurrentDeterminism: file bytes are identical at every
+// export worker count, for every format.
+func TestExportConcurrentDeterminism(t *testing.T) {
+	d := roundTripDataset()
+	for _, format := range []Format{FormatCSV, FormatJSONL, FormatColumnar} {
+		ref := hashExportDir(t, d, format, 1)
+		if len(ref) != 2 {
+			t.Fatalf("%v: exported %d files, want 2", format, len(ref))
+		}
+		for _, workers := range []int{0, 2, 4, 8} {
+			got := hashExportDir(t, d, format, workers)
+			for name, h := range ref {
+				if got[name] != h {
+					t.Errorf("%v workers=%d: %s hash %s, want %s", format, workers, name, got[name], h)
+				}
+			}
+		}
+	}
+}
+
+// TestExportOverwrites: re-exporting into the same directory replaces
+// the files (rename-over semantics), the pattern benchmarks rely on.
+func TestExportOverwrites(t *testing.T) {
+	d := roundTripDataset()
+	dir := t.TempDir()
+	if _, err := d.Export(dir, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	d.NodeProps["User"][0].SetString(0, "renamed")
+	if _, err := d.Export(dir, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "nodes_User.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("renamed")) {
+		t.Error("second export did not replace the file")
+	}
+}
+
+// TestExportRenamesEdgeTableToDatasetKey: the dataset key is the edge
+// type; a table still carrying its generator-internal Name must export
+// under the key in every format — including formats that embed the
+// name in the payload — so a columnar round trip keys the edges the
+// same way the dataset did.
+func TestExportRenamesEdgeTableToDatasetKey(t *testing.T) {
+	d := NewDataset()
+	d.NodeCounts["N"] = 3
+	et := NewEdgeTable("lfr-internal", 2)
+	et.Add(0, 1)
+	et.Add(1, 2)
+	d.Edges["knows"] = et
+
+	dir := t.TempDir()
+	if err := d.WriteDirColumnar(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenColumnar(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Edges["knows"] == nil {
+		t.Fatalf("round trip lost the dataset key: edges keyed %v", mapKeys(got.Edges))
+	}
+	if got.Edges["knows"].Name != "knows" {
+		t.Errorf("round-tripped table Name = %q, want dataset key", got.Edges["knows"].Name)
+	}
+	if et.Name != "lfr-internal" {
+		t.Errorf("export mutated the caller's table Name to %q", et.Name)
+	}
+
+	jsonlDir := t.TempDir()
+	if err := d.WriteDirJSONL(jsonlDir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(jsonlDir, "edges_knows.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"label":"knows"`)) {
+		t.Errorf("JSONL label does not use the dataset key:\n%s", raw)
+	}
+}
+
+func mapKeys(m map[string]*EdgeTable) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// TestExportCommitFailureKeepsCommittedFiles: when a rename in the
+// commit phase fails (here: the target name is occupied by a
+// directory), files committed before it must survive — deleting them
+// could destroy the only copy when re-exporting over an existing
+// dataset — and the remaining temps must be cleaned up.
+func TestExportCommitFailureKeepsCommittedFiles(t *testing.T) {
+	d := roundTripDataset()
+	dir := t.TempDir()
+	// Jobs commit in sorted-nodes-then-edges order, so nodes_User.csv
+	// renames first and edges_follows.csv second; occupy the second
+	// target with a directory to fail its rename.
+	if err := os.Mkdir(filepath.Join(dir, "edges_follows.csv"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.Export(dir, ExportOptions{Format: FormatCSV})
+	if err == nil {
+		t.Fatal("rename over a directory did not fail")
+	}
+	if !strings.Contains(err.Error(), "committing edges_follows.csv") {
+		t.Errorf("error %v does not name the failed commit", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "nodes_User.csv")); err != nil {
+		t.Errorf("committed file was rolled back: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind", ent.Name())
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for name, want := range map[string]Format{"csv": FormatCSV, "jsonl": FormatJSONL, "columnar": FormatColumnar, "dsc": FormatColumnar} {
+		got, err := ParseFormat(name)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseFormat("parquet"); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if FormatCSV.Ext() != ".csv" || FormatJSONL.Ext() != ".jsonl" || FormatColumnar.Ext() != ".dsc" {
+		t.Error("extensions wrong")
+	}
+	if FormatColumnar.String() != "columnar" {
+		t.Errorf("String() = %s", FormatColumnar)
+	}
+}
+
+// TestCSVEncoderMatchesStdlib cross-checks the pooled append encoder
+// against encoding/csv field by field: the byte-identity contract that
+// lets the encoder replace the stdlib writer without changing a single
+// exported file.
+func TestCSVEncoderMatchesStdlib(t *testing.T) {
+	fields := []string{
+		"", "plain", "comma,inside", `quote"inside`, "new\nline", "cr\rreturn",
+		" leadingspace", "trailing ", "\ttab", `\.`, "ünïcødé ✓", `""`,
+		"a,b\"c\nd", "0", "-123", "1.5e-300", " nbsp",
+	}
+	for _, comma := range []rune{',', ';', '|'} {
+		for _, f := range fields {
+			var want bytes.Buffer
+			cw := csv.NewWriter(&want)
+			cw.Comma = comma
+			if err := cw.Write([]string{f, f}); err != nil {
+				t.Fatal(err)
+			}
+			cw.Flush()
+			got := appendCSVField(nil, f, comma)
+			got = append(got, string(comma)...)
+			got = appendCSVField(got, f, comma)
+			got = append(got, '\n')
+			if string(got) != want.String() {
+				t.Errorf("comma %q field %q: encoder %q, stdlib %q", comma, f, got, want.String())
+			}
+		}
+	}
+}
+
+// TestCSVNumericAppendMatchesFormat pins the numeric/date append paths
+// to the historical fmt-based rendering.
+func TestCSVNumericAppendMatchesFormat(t *testing.T) {
+	floats := []float64{0, -1.5, 1.0 / 3.0, math.MaxFloat64, 5e-324, math.Inf(1), math.Inf(-1)}
+	pt := NewPropertyTable("T.f", KindFloat, int64(len(floats)))
+	for i, f := range floats {
+		pt.SetFloat(int64(i), f)
+	}
+	for i := range floats {
+		got := string(pt.appendCSV(nil, int64(i), ','))
+		if want := pt.Format(int64(i)); got != want {
+			t.Errorf("float row %d: append %q, Format %q", i, got, want)
+		}
+	}
+	dates := NewPropertyTable("T.d", KindDate, 3)
+	dates.SetInt(0, 0)
+	dates.SetInt(1, MustParseDate("2017-04-03"))
+	dates.SetInt(2, -400)
+	for i := int64(0); i < 3; i++ {
+		got := string(dates.appendCSV(nil, i, ','))
+		if want := dates.Format(i); got != want {
+			t.Errorf("date row %d: append %q, Format %q", i, got, want)
+		}
+	}
+}

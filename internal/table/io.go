@@ -2,20 +2,23 @@ package table
 
 import (
 	"bufio"
-	"encoding/csv"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
-	"sort"
 	"strconv"
+	"unicode/utf8"
 )
 
-// This file implements the output connectors required by the paper's
+// This file implements the CSV output connector required by the paper's
 // "others" requirement (Section 2): integration with downstream tooling
 // via portable formats. We write one CSV file per node type and per edge
 // type, the layout used by most property-graph bulk loaders
-// (Neo4j-style node/relationship files).
+// (Neo4j-style node/relationship files). Rows are rendered by the
+// pooled append encoder in csvenc.go — no per-cell allocation — and the
+// bytes match encoding/csv output exactly.
+
+// csvFlushAt is the buffered-row threshold at which the encoder hands
+// its batch to the underlying writer.
+const csvFlushAt = 48 << 10
 
 // NodeCSVOptions configures WriteNodeCSV.
 type NodeCSVOptions struct {
@@ -37,30 +40,39 @@ func WriteNodeCSV(w io.Writer, typeName string, props []*PropertyTable, opt Node
 	if n == -1 {
 		n = 0
 	}
-	cw := csv.NewWriter(bufio.NewWriterSize(w, 1<<16))
-	if opt.Comma != 0 {
-		cw.Comma = opt.Comma
+	comma := opt.Comma
+	if comma == 0 {
+		comma = ','
 	}
-	header := make([]string, 0, len(props)+1)
-	header = append(header, "id")
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bp := getEncBuf()
+	defer putEncBuf(bp)
+	buf := (*bp)[:0]
+	buf = appendCSVField(buf, "id", comma)
 	for _, pt := range props {
-		header = append(header, shortName(pt.Name))
+		buf = utf8.AppendRune(buf, comma)
+		buf = appendCSVField(buf, shortName(pt.Name), comma)
 	}
-	if err := cw.Write(header); err != nil {
+	buf = append(buf, '\n')
+	for id := int64(0); id < n; id++ {
+		buf = strconv.AppendInt(buf, id, 10)
+		for _, pt := range props {
+			buf = utf8.AppendRune(buf, comma)
+			buf = pt.appendCSV(buf, id, comma)
+		}
+		buf = append(buf, '\n')
+		if len(buf) >= csvFlushAt {
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if _, err := bw.Write(buf); err != nil {
 		return err
 	}
-	row := make([]string, len(header))
-	for id := int64(0); id < n; id++ {
-		row[0] = strconv.FormatInt(id, 10)
-		for j, pt := range props {
-			row[j+1] = pt.Format(id)
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	*bp = buf
+	return bw.Flush()
 }
 
 // WriteEdgeCSV writes an edge-type file with header
@@ -71,32 +83,47 @@ func WriteEdgeCSV(w io.Writer, et *EdgeTable, props []*PropertyTable, opt NodeCS
 			return fmt.Errorf("table: edge property %s has %d rows, edge table has %d", pt.Name, pt.Len(), et.Len())
 		}
 	}
-	cw := csv.NewWriter(bufio.NewWriterSize(w, 1<<16))
-	if opt.Comma != 0 {
-		cw.Comma = opt.Comma
+	comma := opt.Comma
+	if comma == 0 {
+		comma = ','
 	}
-	header := make([]string, 0, len(props)+3)
-	header = append(header, "id", "tail", "head")
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bp := getEncBuf()
+	defer putEncBuf(bp)
+	buf := (*bp)[:0]
+	buf = appendCSVField(buf, "id", comma)
+	buf = utf8.AppendRune(buf, comma)
+	buf = appendCSVField(buf, "tail", comma)
+	buf = utf8.AppendRune(buf, comma)
+	buf = appendCSVField(buf, "head", comma)
 	for _, pt := range props {
-		header = append(header, shortName(pt.Name))
+		buf = utf8.AppendRune(buf, comma)
+		buf = appendCSVField(buf, shortName(pt.Name), comma)
 	}
-	if err := cw.Write(header); err != nil {
+	buf = append(buf, '\n')
+	for id := int64(0); id < et.Len(); id++ {
+		buf = strconv.AppendInt(buf, id, 10)
+		buf = utf8.AppendRune(buf, comma)
+		buf = strconv.AppendInt(buf, et.Tail[id], 10)
+		buf = utf8.AppendRune(buf, comma)
+		buf = strconv.AppendInt(buf, et.Head[id], 10)
+		for _, pt := range props {
+			buf = utf8.AppendRune(buf, comma)
+			buf = pt.appendCSV(buf, id, comma)
+		}
+		buf = append(buf, '\n')
+		if len(buf) >= csvFlushAt {
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if _, err := bw.Write(buf); err != nil {
 		return err
 	}
-	row := make([]string, len(header))
-	for id := int64(0); id < et.Len(); id++ {
-		row[0] = strconv.FormatInt(id, 10)
-		row[1] = strconv.FormatInt(et.Tail[id], 10)
-		row[2] = strconv.FormatInt(et.Head[id], 10)
-		for j, pt := range props {
-			row[j+3] = pt.Format(id)
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	*bp = buf
+	return bw.Flush()
 }
 
 // shortName strips the "Type." prefix from a PT name for CSV headers.
@@ -135,47 +162,10 @@ func NewDataset() *Dataset {
 
 // WriteDir exports the dataset as one CSV per type into dir, creating
 // it if necessary. Files are named nodes_<Type>.csv / edges_<Type>.csv.
+// Tables are written concurrently and committed atomically; see Export.
 func (d *Dataset) WriteDir(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	types := make([]string, 0, len(d.NodeCounts))
-	for t := range d.NodeCounts {
-		types = append(types, t)
-	}
-	sort.Strings(types)
-	for _, t := range types {
-		f, err := os.Create(filepath.Join(dir, "nodes_"+t+".csv"))
-		if err != nil {
-			return err
-		}
-		err = WriteNodeCSV(f, t, d.NodeProps[t], NodeCSVOptions{})
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("table: writing nodes of %s: %w", t, err)
-		}
-	}
-	edgeTypes := make([]string, 0, len(d.Edges))
-	for t := range d.Edges {
-		edgeTypes = append(edgeTypes, t)
-	}
-	sort.Strings(edgeTypes)
-	for _, t := range edgeTypes {
-		f, err := os.Create(filepath.Join(dir, "edges_"+t+".csv"))
-		if err != nil {
-			return err
-		}
-		err = WriteEdgeCSV(f, d.Edges[t], d.EdgeProps[t], NodeCSVOptions{})
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("table: writing edges of %s: %w", t, err)
-		}
-	}
-	return nil
+	_, err := d.Export(dir, ExportOptions{Format: FormatCSV})
+	return err
 }
 
 // Stats summarises the dataset for logging.

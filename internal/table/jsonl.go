@@ -5,9 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
-	"sort"
 )
 
 // JSON-lines connectors: one JSON object per node/edge, the streaming
@@ -88,46 +85,9 @@ func jsonValue(pt *PropertyTable, id int64) any {
 }
 
 // WriteDirJSONL exports the dataset as nodes_<Type>.jsonl and
-// edges_<Type>.jsonl files.
+// edges_<Type>.jsonl files. Tables are written concurrently and
+// committed atomically; see Export.
 func (d *Dataset) WriteDirJSONL(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	types := make([]string, 0, len(d.NodeCounts))
-	for t := range d.NodeCounts {
-		types = append(types, t)
-	}
-	sort.Strings(types)
-	for _, t := range types {
-		f, err := os.Create(filepath.Join(dir, "nodes_"+t+".jsonl"))
-		if err != nil {
-			return err
-		}
-		err = WriteNodeJSONL(f, t, d.NodeProps[t])
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("table: writing nodes of %s: %w", t, err)
-		}
-	}
-	edgeTypes := make([]string, 0, len(d.Edges))
-	for t := range d.Edges {
-		edgeTypes = append(edgeTypes, t)
-	}
-	sort.Strings(edgeTypes)
-	for _, t := range edgeTypes {
-		f, err := os.Create(filepath.Join(dir, "edges_"+t+".jsonl"))
-		if err != nil {
-			return err
-		}
-		err = WriteEdgeJSONL(f, d.Edges[t], d.EdgeProps[t])
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("table: writing edges of %s: %w", t, err)
-		}
-	}
-	return nil
+	_, err := d.Export(dir, ExportOptions{Format: FormatJSONL})
+	return err
 }

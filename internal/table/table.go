@@ -10,6 +10,20 @@
 // Tables are append-oriented and chunked so generation can proceed in
 // parallel: each worker fills its own id range and the chunks are then
 // stitched without copying.
+//
+// # Export
+//
+// A generated Dataset exports through one pipeline, Dataset.Export,
+// in three formats: CSV (bulk-loader layout, rows rendered by a pooled
+// append encoder byte-identical to encoding/csv), JSON-lines, and a
+// binary columnar format (.dsc, see columnar.go) whose typed column
+// blocks round-trip every value bit for bit and load back with
+// OpenColumnar. Tables are independent, so Export writes one file per
+// table on a bounded worker pool (ExportOptions.Workers) and commits
+// the directory atomically — every file stages as a temp file and the
+// set renames into place only after all tables encoded, so a failed
+// export never leaves a partial directory. File bytes are identical at
+// every worker count.
 package table
 
 import "fmt"
