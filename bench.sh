@@ -8,7 +8,7 @@
 # Usage: ./bench.sh [pr-number] [bench-regex]
 set -euo pipefail
 
-PR="${1:-3}"
+PR="${1:-4}"
 PATTERN="${2:-Figure3|Export}"
 OUT="BENCH_pr${PR}.json"
 RAW="$(mktemp)"

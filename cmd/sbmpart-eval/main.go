@@ -33,6 +33,7 @@ func main() {
 	musweep := flag.Bool("musweep", false, "run the structure-sensitivity sweep (fidelity vs LFR mixing)")
 	passes := flag.Int("passes", 0, "re-streaming refinement passes for figure panels")
 	window := flag.Int("window", 0, "SBM-Part stream window (0 = auto, negative = serial); output is byte-identical at any setting")
+	refineWindow := flag.Int("refinewindow", 0, "stream window of the re-streaming refinement passes (0 = inherit -window, negative = serial); output is byte-identical at any setting")
 	workers := flag.Int("workers", 0, "intra-task worker bound for LFR sharding and window scans (0 = NumCPU, 1 = serial)")
 	panelWorkers := flag.Int("panelworkers", 0, "concurrent figure panels / sweep points (0 = NumCPU, 1 = serial); panel artifacts are byte-identical at any count — the timing experiment always runs serially")
 	all := flag.Bool("all", false, "run every experiment")
@@ -45,6 +46,7 @@ func main() {
 		panels = withPasses(panels, *passes)
 		for i := range panels {
 			panels[i].Window = *window
+			panels[i].RefineWindow = *refineWindow
 			panels[i].Workers = *workers
 		}
 		return panels

@@ -46,6 +46,22 @@
 //     order, the serial stream would see — and places nodes in stream
 //     order. Knobs: SBMPart.Window / Options.Window (0 = auto,
 //     <= 1 = serial) and Workers; cmd flags -window / -workers.
+//   - Windowed re-streaming refinement (internal/match): the
+//     multi-pass matcher (restreamed-LDG refinement, the schema's
+//     `passes` knob) applies the same scan/commit split to every
+//     refinement pass. Scans classify each neighbour under the frozen
+//     *hybrid* assignment — new group if already re-placed, previous-
+//     pass group if it cannot move within the window — and only
+//     same-window neighbours stay pending for the commit to patch.
+//     The per-pass quota ledger and the isolated-node fallback run
+//     exclusively in the sequential commit, so the refined partition
+//     is a pure function of the seed: byte-identical at every
+//     refinement window size and worker count, including the FP
+//     summation order of the vacate/re-add joint-matrix updates.
+//     Knobs: SBMPart.RefineWindow / Options.RefineWindow /
+//     Engine.RefineWindow (0 = inherit the first-pass window,
+//     negative = serial); cmd flag -refinewindow. Per-pass wall times
+//     surface in the -timings report as match-task notes.
 //   - Sharded LFR wiring (internal/sgen): once community sizes and
 //     memberships are fixed, each community's internal configuration
 //     model is an independent shard. Shard c draws from its own RNG
@@ -76,14 +92,22 @@
 //   - Concurrent atomic export (internal/table): Dataset.Export writes
 //     one file per table on a bounded pool in any of three formats —
 //     CSV via a pooled append encoder byte-identical to encoding/csv,
-//     JSON-lines, and a binary columnar format (.dsc: typed column
-//     blocks with CRC-32C trailers, round-tripped by OpenColumnar, the
-//     bulk-load path at ~4x CSV throughput). Files stage as temp files
-//     and rename into place only after every table succeeded, so a
-//     failed export never leaves a partial directory. The exported
-//     bytes are hash-verified identical across scheduler workers,
-//     match windows and export workers
-//     (internal/core TestExportedDatasetGoldenDeterminism).
+//     JSON-lines via a pooled append encoder byte-identical to
+//     encoding/json's default configuration (keys sorted, HTML
+//     escaping, stdlib float formatting — fuzz-verified against the
+//     stdlib encoders, so the byte stream is stable across releases
+//     of this package), and a binary columnar format (.dsc: typed
+//     column blocks with CRC-32C trailers, round-tripped by
+//     OpenColumnar, the bulk-load path at ~4x CSV throughput). A
+//     property whose short name collides with a structural JSONL key
+//     ("id", "label", "tail", "head") or with another property is a
+//     hard export error — it used to silently overwrite the field.
+//     Files stage as temp files and rename into place only after
+//     every table succeeded, so a failed export never leaves a
+//     partial directory. The exported bytes are hash-verified
+//     identical across scheduler workers, match windows, refinement
+//     windows and export workers (internal/core
+//     TestExportedDatasetGoldenDeterminism and its refined variant).
 //
 // The library lives under internal/ (see README.md for the map);
 // cmd/datasynth generates datasets from DSL schemas (-format

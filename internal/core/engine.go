@@ -51,6 +51,11 @@ type Engine struct {
 	// (serial when the engine is single-worker), negative forces the
 	// serial stream. Every setting yields a byte-identical dataset.
 	MatchWindow int
+	// RefineWindow sets the stream window of SBM-Part's re-streaming
+	// refinement passes (the schema's `passes` knob): 0 inherits the
+	// resolved MatchWindow, negative forces serial refinement. Every
+	// setting yields a byte-identical dataset.
+	RefineWindow int
 	// ExportFormat selects the on-disk encoding used by Export
 	// (the zero value is CSV).
 	ExportFormat table.Format
@@ -292,9 +297,10 @@ func (e *Engine) runPlan(st *runState, plan *depgraph.Plan) error {
 				t := plan.Tasks[i]
 				e.logf("task %s", t.ID())
 				taskStart := time.Now()
-				err := e.runTask(st, plan, t)
+				note, err := e.runTask(st, plan, t)
 				timings[i].Start = taskStart.Sub(runStart)
 				timings[i].Duration = time.Since(taskStart)
+				timings[i].Note = note
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -330,19 +336,21 @@ func (e *Engine) runPlan(st *runState, plan *depgraph.Plan) error {
 	return firstErr
 }
 
-// runTask dispatches one plan task to its executor.
-func (e *Engine) runTask(st *runState, plan *depgraph.Plan, t depgraph.Task) error {
+// runTask dispatches one plan task to its executor. The returned note
+// is a free-form per-task annotation for the timing report (match
+// tasks report their per-pass SBM-Part breakdown there).
+func (e *Engine) runTask(st *runState, plan *depgraph.Plan, t depgraph.Task) (string, error) {
 	switch t.Kind {
 	case depgraph.TaskProperty:
-		return e.genNodeProperty(st, plan, t.Type, t.Prop)
+		return "", e.genNodeProperty(st, plan, t.Type, t.Prop)
 	case depgraph.TaskStructure:
-		return e.genStructure(st, plan, t.Type)
+		return "", e.genStructure(st, plan, t.Type)
 	case depgraph.TaskMatch:
 		return e.matchEdge(st, plan, t.Type)
 	case depgraph.TaskEdgeProperty:
-		return e.genEdgeProperty(st, t.Type, t.Prop)
+		return "", e.genEdgeProperty(st, t.Type, t.Prop)
 	default:
-		return fmt.Errorf("core: unknown task kind %v", t.Kind)
+		return "", fmt.Errorf("core: unknown task kind %v", t.Kind)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"datasynth/internal/depgraph"
+	"datasynth/internal/schema"
 	"datasynth/internal/table"
 )
 
@@ -45,14 +46,15 @@ func hashDir(t *testing.T, dir string) map[string]string {
 	return hashes
 }
 
-// exportHashes generates the schema at the given worker count and
-// match window, exports it in every format at the given export worker
-// count, and returns the per-file SHA-256 set.
-func exportHashes(t *testing.T, workers, window, exportWorkers int) map[string]string {
+// exportHashes generates the schema at the given worker count, match
+// window and refinement window, exports it in every format at the
+// given export worker count, and returns the per-file SHA-256 set.
+func exportHashes(t *testing.T, s *schema.Schema, workers, window, refineWindow, exportWorkers int) map[string]string {
 	t.Helper()
-	e := New(quickstartSchema())
+	e := New(s)
 	e.Workers = workers
 	e.MatchWindow = window
+	e.RefineWindow = refineWindow
 	d, err := e.Generate()
 	if err != nil {
 		t.Fatalf("workers=%d window=%d: %v", workers, window, err)
@@ -79,7 +81,7 @@ func exportHashes(t *testing.T, workers, window, exportWorkers int) map[string]s
 // export worker count and in every export format ("per-seed,
 // worker-invariant, format-stable").
 func TestExportedDatasetGoldenDeterminism(t *testing.T) {
-	ref := exportHashes(t, 1, -1, 1) // sequential plan, serial stream, serial export
+	ref := exportHashes(t, quickstartSchema(), 1, -1, -1, 1) // sequential plan, serial stream, serial export
 	if len(ref) != 6 {
 		t.Fatalf("expected 6 exported files (csv+jsonl+columnar × nodes+edges), got %d", len(ref))
 	}
@@ -92,7 +94,7 @@ func TestExportedDatasetGoldenDeterminism(t *testing.T) {
 		{4, 512, 2},
 	}
 	for _, cfg := range configs {
-		got := exportHashes(t, cfg.workers, cfg.window, cfg.exportWorkers)
+		got := exportHashes(t, quickstartSchema(), cfg.workers, cfg.window, 0, cfg.exportWorkers)
 		if len(got) != len(ref) {
 			t.Fatalf("workers=%d window=%d: %d files, want %d", cfg.workers, cfg.window, len(got), len(ref))
 		}
@@ -100,6 +102,51 @@ func TestExportedDatasetGoldenDeterminism(t *testing.T) {
 			if got[name] != h {
 				t.Errorf("workers=%d window=%d exportWorkers=%d: %s hash %s, want %s",
 					cfg.workers, cfg.window, cfg.exportWorkers, name, got[name], h)
+			}
+		}
+	}
+}
+
+// refinedQuickstartSchema is the quickstart schema with re-streaming
+// refinement passes on its correlated edge, so match tasks exercise
+// PartitionMultiPass end to end.
+func refinedQuickstartSchema() *schema.Schema {
+	s := quickstartSchema()
+	s.Edges[0].Correlation.Passes = 2
+	return s
+}
+
+// TestExportedRefinedDatasetGoldenDeterminism extends the contract to
+// the multi-pass matcher: with refinement passes in the schema, the
+// exported files must hash identically at every combination of
+// scheduler workers, first-pass window and refinement window —
+// including windowed-refinement-under-serial-first-pass and vice
+// versa.
+func TestExportedRefinedDatasetGoldenDeterminism(t *testing.T) {
+	ref := exportHashes(t, refinedQuickstartSchema(), 1, -1, -1, 1) // fully serial baseline
+	if len(ref) != 6 {
+		t.Fatalf("expected 6 exported files, got %d", len(ref))
+	}
+	// The refined dataset must actually differ from the single-pass one
+	// (otherwise this test would silently duplicate the one above).
+	plain := exportHashes(t, quickstartSchema(), 1, -1, -1, 1)
+	if plain["csv/edges_follows.csv"] == ref["csv/edges_follows.csv"] {
+		t.Fatal("refinement passes did not change the matched edge table")
+	}
+	configs := []struct{ workers, window, refineWindow, exportWorkers int }{
+		{1, -1, 64, 1},                       // serial first pass, windowed refinement
+		{runtime.NumCPU(), 64, -1, 0},        // windowed first pass, serial refinement
+		{runtime.NumCPU(), 64, 0, 0},         // refinement inherits the first-pass window
+		{runtime.NumCPU(), 0, 512, 4},        // auto window, explicit refinement window
+		{4, 1 << 20, 1 << 20, 2},             // whole stream in one window, both passes
+		{runtime.NumCPU(), 128, 7, runtime.NumCPU()}, // deliberately ragged window
+	}
+	for _, cfg := range configs {
+		got := exportHashes(t, refinedQuickstartSchema(), cfg.workers, cfg.window, cfg.refineWindow, cfg.exportWorkers)
+		for name, h := range ref {
+			if got[name] != h {
+				t.Errorf("workers=%d window=%d refine=%d exportWorkers=%d: %s hash %s, want %s",
+					cfg.workers, cfg.window, cfg.refineWindow, cfg.exportWorkers, name, got[name], h)
 			}
 		}
 	}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"datasynth/internal/depgraph"
 	"datasynth/internal/match"
@@ -233,34 +235,36 @@ func fusedTarget(c *schema.Correlation, tailLabels []int64, kt int, cat *pgen.Ca
 // matchEdge performs the paper's graph-matching task: it rewrites the
 // structure's anonymous node ids into instance ids, preserving the
 // requested property-structure correlation (or randomly when none is
-// declared).
-func (e *Engine) matchEdge(st *runState, plan *depgraph.Plan, edgeName string) error {
+// declared). The returned note annotates the task's timing-report row
+// with the SBM-Part per-pass breakdown, so -timings shows where a
+// match task's critical-path time goes — including refinement passes.
+func (e *Engine) matchEdge(st *runState, plan *depgraph.Plan, edgeName string) (string, error) {
 	edge := e.Schema.EdgeType(edgeName)
 	et, ok := st.edgeTable(edgeName)
 	if !ok {
-		return fmt.Errorf("core: match before structure for %q", edgeName)
+		return "", fmt.Errorf("core: match before structure for %q", edgeName)
 	}
 	if st.isMatched(edgeName) {
 		// Fused edges arrive pre-matched.
-		return nil
+		return "", nil
 	}
 	seed := xrand.NewStream(e.Schema.Seed).DeriveStream("match." + edgeName).Seed()
 	nTail, err := e.nodeCount(st, plan, edge.Tail)
 	if err != nil {
-		return err
+		return "", err
 	}
 	nHead, err := e.nodeCount(st, plan, edge.Head)
 	if err != nil {
-		return err
+		return "", err
 	}
 
 	if edge.Correlation == nil {
-		return e.matchRandom(st, edge, et, nTail, nHead, seed)
+		return "", e.matchRandom(st, edge, et, nTail, nHead, seed)
 	}
 	if edge.Correlation.Property != "" {
 		return e.matchMonopartite(st, edge, et, nTail, seed)
 	}
-	return e.matchBipartiteEdge(st, edge, et, nTail, nHead, seed)
+	return "", e.matchBipartiteEdge(st, edge, et, nTail, nHead, seed)
 }
 
 // matchRandom applies the paper's uncorrelated rule: "In those cases
@@ -398,24 +402,26 @@ func targetJoint(c *schema.Correlation, labels []int64, k int) (*stats.Joint, er
 	return stats.HomophilyJoint(sizes, c.Homophily)
 }
 
-// matchMonopartite runs SBM-Part for a same-type correlated edge.
-func (e *Engine) matchMonopartite(st *runState, edge *schema.EdgeType, et *table.EdgeTable, nTail int64, seed uint64) error {
+// matchMonopartite runs SBM-Part for a same-type correlated edge. The
+// returned note carries the partitioner's per-pass wall times into the
+// task timing report.
+func (e *Engine) matchMonopartite(st *runState, edge *schema.EdgeType, et *table.EdgeTable, nTail int64, seed uint64) (string, error) {
 	pt, ok := st.nodeProp(edge.Tail, edge.Correlation.Property)
 	if !ok {
-		return fmt.Errorf("core: correlated property %s.%s not materialised", edge.Tail, edge.Correlation.Property)
+		return "", fmt.Errorf("core: correlated property %s.%s not materialised", edge.Tail, edge.Correlation.Property)
 	}
 	labels, values, err := labelsFor(pt)
 	if err != nil {
-		return err
+		return "", err
 	}
 	k := len(values)
 	target, err := targetJoint(edge.Correlation, labels, k)
 	if err != nil {
-		return err
+		return "", err
 	}
 	structN := et.MaxNode()
 	if structN > nTail {
-		return fmt.Errorf("core: structure of %s spans %d nodes but %s has %d instances", edge.Name, structN, edge.Tail, nTail)
+		return "", fmt.Errorf("core: structure of %s spans %d nodes but %s has %d instances", edge.Name, structN, edge.Tail, nTail)
 	}
 	// The structure may cover fewer nodes than instances exist; SBM-Part
 	// capacities come from all rows, so the mapping stays injective.
@@ -423,15 +429,37 @@ func (e *Engine) matchMonopartite(st *runState, edge *schema.EdgeType, et *table
 	opt.Passes = edge.Correlation.Passes
 	opt.Workers = e.Workers
 	opt.Window = e.MatchWindow
+	opt.RefineWindow = e.RefineWindow
 	res, err := match.MatchProperty(et, nTail, labels, target, opt)
 	if err != nil {
-		return err
+		return "", err
 	}
 	et.Remap(res.Mapping)
 	l1, _ := stats.L1(target, res.Observed)
-	e.logf("match %s: k=%d L1=%.4f sbm=%v", edge.Name, k, l1, res.PartitionTime)
+	note := sbmNote(res)
+	e.logf("match %s: k=%d L1=%.4f %s", edge.Name, k, l1, note)
 	st.setMatched(edge.Name)
-	return nil
+	return note, nil
+}
+
+// sbmNote renders a match result's SBM-Part timing for logs and the
+// timing report: the total, plus the per-pass breakdown when
+// refinement passes ran (pass 0 is the initial stream).
+func sbmNote(res *match.Result) string {
+	if len(res.PassTimes) <= 1 {
+		return fmt.Sprintf("sbm %v", res.PartitionTime.Round(time.Microsecond))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sbm %v (passes", res.PartitionTime.Round(time.Microsecond))
+	for i, d := range res.PassTimes {
+		if i == 0 {
+			fmt.Fprintf(&b, " %v", d.Round(time.Microsecond))
+		} else {
+			fmt.Fprintf(&b, "+%v", d.Round(time.Microsecond))
+		}
+	}
+	b.WriteString(")")
+	return b.String()
 }
 
 // matchBipartiteEdge runs the bipartite SBM-Part variation for an edge

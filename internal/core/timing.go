@@ -30,6 +30,10 @@ type TaskTiming struct {
 	Duration time.Duration
 	// Critical marks tasks on the run's critical path.
 	Critical bool
+	// Note is a free-form per-task annotation (match tasks report their
+	// SBM-Part per-pass breakdown here, so a refined match shows where
+	// its critical-path time goes).
+	Note string
 }
 
 // RunReport summarises one Generate execution, plus the export that
@@ -143,8 +147,12 @@ func (r *RunReport) String() string {
 		if t.Critical {
 			mark = "*"
 		}
-		fmt.Fprintf(&b, "%s %-40s %12v  (start +%v)\n", mark, t.ID,
-			t.Duration.Round(time.Microsecond), t.Start.Round(time.Microsecond))
+		detail := ""
+		if t.Note != "" {
+			detail = "  [" + t.Note + "]"
+		}
+		fmt.Fprintf(&b, "%s %-40s %12v  (start +%v)%s\n", mark, t.ID,
+			t.Duration.Round(time.Microsecond), t.Start.Round(time.Microsecond), detail)
 	}
 	for _, f := range r.ExportFiles {
 		fmt.Fprintf(&b, "  %-40s %12v  (%d bytes)\n", "export:"+f.Name,

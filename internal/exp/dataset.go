@@ -7,11 +7,14 @@ import (
 )
 
 // Dataset materialises the panel as an exportable table.Dataset: one
-// node type carrying the matched value as an int column, a string
-// label column ("v<idx>") and a normalised float score, plus the
-// generated edge table. This is what the export benchmarks and the
-// eval CLI write to disk — a full-size dataset with every value kind a
-// real schema produces, derived deterministically from the panel seed.
+// node type carrying the matched value as an int column, a string tag
+// column ("v<idx>") and a normalised float score, plus the generated
+// edge table. This is what the export benchmarks and the eval CLI
+// write to disk — a full-size dataset with every value kind a real
+// schema produces, derived deterministically from the panel seed. The
+// string column is named "tag", not "label": "label" is a reserved
+// structural key in the JSONL connector, and the old name silently
+// overwrote the row's type label there (now a hard error).
 func (r *Result) Dataset() (*table.Dataset, error) {
 	if r.Assign == nil || r.Table == nil {
 		return nil, fmt.Errorf("exp: result of %s carries no assignment/table", r.Panel.Label())
@@ -19,7 +22,7 @@ func (r *Result) Dataset() (*table.Dataset, error) {
 	n := r.Nodes
 	k := r.Panel.K
 	value := table.NewPropertyTable("Node.value", table.KindInt, n)
-	label := table.NewPropertyTable("Node.label", table.KindString, n)
+	label := table.NewPropertyTable("Node.tag", table.KindString, n)
 	score := table.NewPropertyTable("Node.score", table.KindFloat, n)
 	labels := make([]string, k)
 	for v := 0; v < k; v++ {

@@ -73,6 +73,10 @@ type Panel struct {
 	// sharded community wiring and SBM-Part's window scans
 	// (0 = NumCPU, 1 = serial). Byte-identical output at every count.
 	Workers int
+	// RefineWindow sets the stream window of the re-streaming
+	// refinement passes (0 = inherit the resolved Window, negative =
+	// serial refinement). Byte-identical output at every setting.
+	RefineWindow int
 }
 
 // Label renders the paper's panel naming, e.g. "LFR(10k,16)".
@@ -192,6 +196,7 @@ func RunPanel(p Panel) (*Result, error) {
 	part.Seed = p.Seed ^ 0x3
 	part.Window = match.EffectiveWindow(p.Window, p.Workers)
 	part.Workers = p.Workers
+	part.RefineWindow = p.RefineWindow
 	var order []int64
 	switch p.Order {
 	case "", "random":

@@ -78,6 +78,11 @@ type Options struct {
 	// Workers bounds the scan-phase concurrency (0 = NumCPU, 1 =
 	// serial). The partition is byte-identical at every worker count.
 	Workers int
+	// RefineWindow sets the stream window of the re-streaming
+	// refinement passes: 0 inherits the resolved Window, negative (or
+	// 1) keeps refinement serial. The refined partition is
+	// byte-identical at every setting.
+	RefineWindow int
 }
 
 // DefaultWindow is the stream window used when Options.Window is 0 —
@@ -120,6 +125,12 @@ type Result struct {
 	// construction — plumbed out so callers can report where a match
 	// task's critical-path time actually goes.
 	PartitionTime time.Duration
+	// PassTimes breaks PartitionTime down per streaming pass: index 0
+	// is the initial stream, each later entry one re-streaming
+	// refinement pass (a single-pass match has exactly one entry).
+	// Callers feed this into critical-path reports so refinement cost
+	// is visible end to end.
+	PassTimes []time.Duration
 }
 
 // MatchProperty runs the paper's full matching task for a monopartite
@@ -147,18 +158,24 @@ func MatchProperty(et *table.EdgeTable, n int64, rowLabels []int64, target *stat
 	part.Seed = opt.Seed
 	part.Window = EffectiveWindow(opt.Window, opt.Workers)
 	part.Workers = opt.Workers
+	part.RefineWindow = opt.RefineWindow
 	order := opt.Order
 	if order == nil {
 		order = RandomOrder(n, opt.Seed)
 	}
 	start := time.Now()
 	var assign []int64
+	passTimes := []time.Duration(nil)
 	if opt.Passes > 0 {
 		assign, err = part.PartitionMultiPass(g, order, opt.Passes)
+		passTimes = append(passTimes, part.PassTimes...)
 	} else {
 		assign, err = part.Partition(g, order)
 	}
 	partitionTime := time.Since(start)
+	if opt.Passes <= 0 {
+		passTimes = append(passTimes, partitionTime)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +187,7 @@ func MatchProperty(et *table.EdgeTable, n int64, rowLabels []int64, target *stat
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Mapping: mapping, Assign: assign, Observed: observed, PartitionTime: partitionTime}, nil
+	return &Result{Mapping: mapping, Assign: assign, Observed: observed, PartitionTime: partitionTime, PassTimes: passTimes}, nil
 }
 
 // RandomMatch maps structure nodes to property rows uniformly at

@@ -21,6 +21,7 @@ package match
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"datasynth/internal/graph"
 	"datasynth/internal/stats"
@@ -59,6 +60,14 @@ type SBMPart struct {
 	// Workers bounds the concurrency of the windowed scan phase;
 	// 0 means NumCPU, 1 scans serially (still byte-identical).
 	Workers int
+	// RefineWindow sets the stream window of the re-streaming
+	// refinement passes (PartitionMultiPass): 0 inherits Window,
+	// <= 1 (or negative) keeps refinement fully serial, anything larger
+	// runs each refinement pass through the same parallel scan /
+	// sequential commit split as the first pass. The refined partition
+	// is byte-identical at every window size and worker count; see
+	// refinePassWindowed.
+	RefineWindow int
 	// FinalTarget scores placements against the *final* absolute target
 	// matrix W = m·P instead of the default proportional target
 	// W(s) = m_placed·P. The final-target variant reads the paper most
@@ -71,6 +80,13 @@ type SBMPart struct {
 	// merely "for convenience") — and is self-correcting. Kept as an
 	// ablation switch; see BenchmarkAblationTarget.
 	FinalTarget bool
+
+	// PassTimes records the wall time of every streaming pass of the
+	// most recent PartitionMultiPass call: index 0 is the initial
+	// stream, each later entry one refinement pass. Reset at the start
+	// of every call; callers plumb it into timing reports so the cost
+	// of refinement is visible end to end.
+	PassTimes []time.Duration
 
 	// deltas is per-placement scratch for placeByFrobenius, hoisted out
 	// of the per-node loop so streaming a graph allocates nothing per

@@ -1,0 +1,286 @@
+package match
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"datasynth/internal/graph"
+	"datasynth/internal/sgen"
+	"datasynth/internal/stats"
+	"datasynth/internal/table"
+)
+
+// multiPassWith runs PartitionMultiPass at the given first-pass window,
+// refinement window and worker count on a fresh partitioner.
+func multiPassWith(t testing.TB, g *graph.Graph, target *stats.Joint, sizes []int64, passes, window, refineWindow, workers int) []int64 {
+	t.Helper()
+	part, err := NewSBMPart(target, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.Seed = 99
+	part.Window = window
+	part.RefineWindow = refineWindow
+	part.Workers = workers
+	assign, err := part.PartitionMultiPass(g, RandomOrder(g.N(), 5), passes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return assign
+}
+
+// TestMultiPassWindowedByteIdentical: the windowed refinement passes
+// must reproduce the serial passes exactly — same assignment for every
+// node — at refinement windows 64, DefaultWindow and whole-stream, at 1
+// and NumCPU workers, and whether the first pass itself is windowed or
+// serial.
+func TestMultiPassWindowedByteIdentical(t *testing.T) {
+	const n, k = 4000, 16
+	g, target, sizes := lfrFixture(t, n, k)
+	ref := multiPassWith(t, g, target, sizes, 2, 1, 1, 1) // fully serial baseline
+
+	for _, w := range []int{1, 256} { // first-pass window
+		for _, rw := range []int{64, DefaultWindow, int(n)} {
+			for _, workers := range []int{1, runtime.NumCPU()} {
+				got := multiPassWith(t, g, target, sizes, 2, w, rw, workers)
+				for v := range ref {
+					if got[v] != ref[v] {
+						t.Fatalf("window=%d refine=%d workers=%d: node %d assigned %d, serial %d",
+							w, rw, workers, v, got[v], ref[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiPassRefineWindowInherits: RefineWindow 0 inherits Window, so
+// a windowed first pass windows its refinement passes too — and still
+// matches the serial baseline.
+func TestMultiPassRefineWindowInherits(t *testing.T) {
+	const n, k = 2000, 8
+	g, target, sizes := lfrFixture(t, n, k)
+	ref := multiPassWith(t, g, target, sizes, 2, 1, 1, 1)
+	got := multiPassWith(t, g, target, sizes, 2, 128, 0, 0)
+	for v := range ref {
+		if got[v] != ref[v] {
+			t.Fatalf("inherited refine window: node %d assigned %d, serial %d", v, got[v], ref[v])
+		}
+	}
+	// Negative RefineWindow pins refinement serial even when the first
+	// pass is windowed.
+	got = multiPassWith(t, g, target, sizes, 2, 128, -1, 0)
+	for v := range ref {
+		if got[v] != ref[v] {
+			t.Fatalf("serial refine under windowed first pass: node %d assigned %d, serial %d", v, got[v], ref[v])
+		}
+	}
+}
+
+// TestMultiPassWindowedStress exercises the refinement scan/commit loop
+// under the race detector: concurrent independent multi-pass partitions
+// at staggered refinement windows, all of which must agree with the
+// serial baseline.
+func TestMultiPassWindowedStress(t *testing.T) {
+	const n, k = 2000, 8
+	g, target, sizes := lfrFixture(t, n, k)
+	ref := multiPassWith(t, g, target, sizes, 2, 1, 1, 1)
+
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(refineWindow int) {
+			defer wg.Done()
+			got := multiPassWith(t, g, target, sizes, 2, 128, refineWindow, 0)
+			for v := range ref {
+				if got[v] != ref[v] {
+					t.Errorf("refine window=%d: node %d assigned %d, serial %d", refineWindow, v, got[v], ref[v])
+					return
+				}
+			}
+		}(2 + r*37)
+	}
+	wg.Wait()
+}
+
+// isolatedFixture builds a graph whose second half is isolated nodes,
+// with total capacity exactly n — so late isolated placements exhaust
+// group quotas and exercise the first-feasible fallback scan.
+func isolatedFixture(t *testing.T, n int64, k int) (*graph.Graph, *stats.Joint, []int64) {
+	t.Helper()
+	et := table.NewEdgeTable("iso", n)
+	half := n / 2
+	for v := int64(1); v < half; v++ {
+		et.Add(v-1, v) // a path through the first half
+		et.Add(v%7, v) // plus some chords for group structure
+	}
+	g, err := graph.FromEdgeTable(et, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tight, skewed capacities summing exactly to n.
+	sizes := make([]int64, k)
+	rem := n
+	for i := 0; i < k-1; i++ {
+		sizes[i] = rem / 3
+		rem -= sizes[i]
+	}
+	sizes[k-1] = rem
+	target, err := stats.HomophilyJoint(sizes, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, target, sizes
+}
+
+// TestMultiPassIsolatedQuotaDeterminism: with tight quotas and many
+// isolated nodes, the refinement fallback (keep previous group, else
+// first feasible group) must resolve identically at every refinement
+// window and worker count — the first-feasible scan runs in the
+// sequential commit phase, so worker count can never reorder it.
+func TestMultiPassIsolatedQuotaDeterminism(t *testing.T) {
+	const n, k = 1200, 6
+	g, target, sizes := isolatedFixture(t, n, k)
+	ref := multiPassWith(t, g, target, sizes, 3, 1, 1, 1)
+
+	counts := make([]int64, k)
+	for _, a := range ref {
+		counts[a]++
+	}
+	for i := range sizes {
+		if counts[i] > sizes[i] {
+			t.Fatalf("group %d over capacity: %d > %d", i, counts[i], sizes[i])
+		}
+	}
+	for _, rw := range []int{7, 64, int(n)} {
+		for _, workers := range []int{1, 0} {
+			got := multiPassWith(t, g, target, sizes, 3, 64, rw, workers)
+			for v := range ref {
+				if got[v] != ref[v] {
+					t.Fatalf("refine window=%d workers=%d: node %d assigned %d, serial %d",
+						rw, workers, v, got[v], ref[v])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiPassPassTimes: PartitionMultiPass must record one wall-time
+// entry per streaming pass (initial + each refinement), resetting
+// between calls.
+func TestMultiPassPassTimes(t *testing.T) {
+	g, target, sizes := lfrFixture(t, 1000, 4)
+	part, err := NewSBMPart(target, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.Seed = 7
+	if _, err := part.PartitionMultiPass(g, RandomOrder(g.N(), 3), 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(part.PassTimes) != 3 {
+		t.Fatalf("PassTimes has %d entries after 1+2 passes, want 3", len(part.PassTimes))
+	}
+	if _, err := part.PartitionMultiPass(g, RandomOrder(g.N(), 3), 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(part.PassTimes) != 1 {
+		t.Fatalf("PassTimes has %d entries after a 0-refinement call, want 1", len(part.PassTimes))
+	}
+}
+
+// TestMatchPropertyRefinedWindowedIdentical: the end-to-end matching
+// operator with refinement passes must hand out identical mappings
+// whatever the window/refine-window/worker setting, and must report
+// per-pass timings.
+func TestMatchPropertyRefinedWindowedIdentical(t *testing.T) {
+	const n, k = 2000, 4
+	et := lfrEdgeTable(t, n)
+	sizes := make([]int64, k)
+	for i := range sizes {
+		sizes[i] = n / int64(k)
+	}
+	target, err := stats.HomophilyJoint(sizes, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowLabels := make([]int64, n)
+	idx := int64(0)
+	for v, sz := range sizes {
+		for c := int64(0); c < sz; c++ {
+			rowLabels[idx] = int64(v)
+			idx++
+		}
+	}
+	run := func(window, refineWindow, workers int) *Result {
+		opt := DefaultOptions(77)
+		opt.Passes = 2
+		opt.Window = window
+		opt.RefineWindow = refineWindow
+		opt.Workers = workers
+		res, err := MatchProperty(et, n, rowLabels, target, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(-1, -1, 1) // fully serial
+	if len(ref.PassTimes) != 3 {
+		t.Fatalf("PassTimes has %d entries, want 3 (stream + 2 refinements)", len(ref.PassTimes))
+	}
+	for _, cfg := range []struct{ w, rw, workers int }{
+		{64, 0, 0},
+		{0, 64, 0},
+		{-1, 512, 0},
+		{0, 0, 0},
+	} {
+		got := run(cfg.w, cfg.rw, cfg.workers)
+		for v := range ref.Mapping {
+			if got.Mapping[v] != ref.Mapping[v] {
+				t.Fatalf("window=%d refine=%d: mapping[%d] = %d, serial %d",
+					cfg.w, cfg.rw, v, got.Mapping[v], ref.Mapping[v])
+			}
+		}
+	}
+}
+
+// lfrEdgeTable generates an LFR edge table for end-to-end matching
+// tests (lfrFixture only returns the CSR graph).
+func lfrEdgeTable(t testing.TB, n int64) *table.EdgeTable {
+	t.Helper()
+	et, err := sgen.NewLFR(23).Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return et
+}
+
+func BenchmarkMultiPassSerial(b *testing.B) {
+	g, target, sizes := lfrFixture(b, 30000, 16)
+	order := RandomOrder(g.N(), 5)
+	part, _ := NewSBMPart(target, sizes)
+	part.Seed = 99
+	part.Window = 1
+	part.RefineWindow = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := part.PartitionMultiPass(g, order, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiPassWindowed(b *testing.B) {
+	g, target, sizes := lfrFixture(b, 30000, 16)
+	order := RandomOrder(g.N(), 5)
+	part, _ := NewSBMPart(target, sizes)
+	part.Seed = 99
+	part.Window = DefaultWindow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := part.PartitionMultiPass(g, order, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

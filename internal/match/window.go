@@ -71,7 +71,7 @@ func (p *SBMPart) partitionWindowed(g *graph.Graph, order []int64, window int) (
 
 	workers := p.Workers
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = defaultWorkers()
 	}
 	if workers > window {
 		workers = window
@@ -154,20 +154,7 @@ func (p *SBMPart) partitionWindowed(g *graph.Graph, order []int64, window int) (
 		if workers == 1 || wn == 1 {
 			scan(0, wn, cnt, pos, make([]int32, 0, k))
 		} else {
-			var wg sync.WaitGroup
-			chunk := (wn + workers - 1) / workers
-			for lo := 0; lo < wn; lo += chunk {
-				hi := lo + chunk
-				if hi > wn {
-					hi = wn
-				}
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					scan(lo, hi, make([]int64, k), make([]int32, k), make([]int32, 0, k))
-				}(lo, hi)
-			}
-			wg.Wait()
+			runScanChunks(wn, workers, k, scan)
 		}
 
 		// Commit phase: sequential, stream order, against live state.
@@ -195,17 +182,7 @@ func (p *SBMPart) partitionWindowed(g *graph.Graph, order []int64, window int) (
 				}
 				cnt[a]++
 			}
-			// Restore the serial first-occurrence order (insertion sort:
-			// touched is at most min(k, deg) entries and nearly sorted).
-			for a := 1; a < len(touched); a++ {
-				t := touched[a]
-				b := a - 1
-				for b >= 0 && pos[touched[b]] > pos[t] {
-					touched[b+1] = touched[b]
-					b--
-				}
-				touched[b+1] = t
-			}
+			sortTouchedByPos(touched, pos)
 
 			best := int64(-1)
 			if len(touched) == 0 {
@@ -239,4 +216,46 @@ func (p *SBMPart) partitionWindowed(g *graph.Graph, order []int64, window int) (
 		}
 	}
 	return assign, nil
+}
+
+// defaultWorkers resolves a zero worker bound to the machine width.
+func defaultWorkers() int { return runtime.NumCPU() }
+
+// runScanChunks fans a window's scan phase across workers in static
+// contiguous chunks; every worker owns private count/position/touched
+// scratch, so concurrent scans share no mutable state. Both the first
+// pass and the refinement passes dispatch their scans through here.
+func runScanChunks(wn, workers, k int, scan func(lo, hi int, cnt []int64, pos []int32, tl []int32)) {
+	var wg sync.WaitGroup
+	chunk := (wn + workers - 1) / workers
+	for lo := 0; lo < wn; lo += chunk {
+		hi := lo + chunk
+		if hi > wn {
+			hi = wn
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scan(lo, hi, make([]int64, k), make([]int32, k), make([]int32, 0, k))
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sortTouchedByPos restores the serial first-occurrence group order
+// after a windowed commit merged settled and pending neighbours:
+// floating-point accumulation makes the group visit order significant,
+// so every windowed path re-sorts by first scan position before
+// scoring. Insertion sort: touched is at most min(k, deg) entries and
+// nearly sorted already.
+func sortTouchedByPos(touched []int, pos []int32) {
+	for a := 1; a < len(touched); a++ {
+		t := touched[a]
+		b := a - 1
+		for b >= 0 && pos[touched[b]] > pos[t] {
+			touched[b+1] = touched[b]
+			b--
+		}
+		touched[b+1] = t
+	}
 }

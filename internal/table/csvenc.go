@@ -30,8 +30,11 @@ func putEncBuf(b *[]byte) { *b = (*b)[:0]; encBufPool.Put(b) }
 
 // csvFieldNeedsQuotes replicates encoding/csv's quoting decision for a
 // separator rune: quote when the field contains the separator, a quote
-// or a line break, starts with a space, is the Postgres end-of-data
-// marker `\.`, or (space-separated files) contains any space.
+// or a line break, starts with a space, or is the Postgres end-of-data
+// marker `\.`. This mirrors go1.24's fieldNeedsQuotes byte for byte —
+// an earlier revision kept the pre-1.24 special case for
+// space-separated files (quote on any interior space), which the fuzz
+// cross-check against encoding/csv flagged as a divergence.
 func csvFieldNeedsQuotes(field string, comma rune) bool {
 	if field == "" {
 		return false
@@ -39,16 +42,17 @@ func csvFieldNeedsQuotes(field string, comma rune) bool {
 	if field == `\.` {
 		return true
 	}
-	if comma == ' ' {
-		for _, r := range field {
-			if unicode.IsSpace(r) {
+	if comma < utf8.RuneSelf {
+		for i := 0; i < len(field); i++ {
+			c := field[i]
+			if c == '\n' || c == '\r' || c == '"' || c == byte(comma) {
 				return true
 			}
 		}
-		return false
-	}
-	if strings.ContainsRune(field, comma) || strings.ContainsAny(field, "\"\r\n") {
-		return true
+	} else {
+		if strings.ContainsRune(field, comma) || strings.ContainsAny(field, "\"\r\n") {
+			return true
+		}
 	}
 	r1, _ := utf8.DecodeRuneInString(field)
 	return unicode.IsSpace(r1)

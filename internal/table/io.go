@@ -40,6 +40,9 @@ func WriteNodeCSV(w io.Writer, typeName string, props []*PropertyTable, opt Node
 	if n == -1 {
 		n = 0
 	}
+	if err := checkColumnCollisions([]string{"id"}, props); err != nil {
+		return err
+	}
 	comma := opt.Comma
 	if comma == 0 {
 		comma = ','
@@ -82,6 +85,9 @@ func WriteEdgeCSV(w io.Writer, et *EdgeTable, props []*PropertyTable, opt NodeCS
 		if pt.Len() != et.Len() {
 			return fmt.Errorf("table: edge property %s has %d rows, edge table has %d", pt.Name, pt.Len(), et.Len())
 		}
+	}
+	if err := checkColumnCollisions([]string{"id", "tail", "head"}, props); err != nil {
+		return err
 	}
 	comma := opt.Comma
 	if comma == 0 {
@@ -134,6 +140,27 @@ func shortName(name string) string {
 		}
 	}
 	return name
+}
+
+// checkColumnCollisions rejects property short names that would
+// collide with a structural column of the emitted file or with one
+// another. Every row-oriented connector (CSV header row, JSONL row
+// object) runs this before writing: a colliding name used to silently
+// produce an ambiguous header (CSV) or overwrite the structural field
+// (JSONL).
+func checkColumnCollisions(structural []string, props []*PropertyTable) error {
+	owner := make(map[string]string, len(structural)+len(props))
+	for _, s := range structural {
+		owner[s] = "the structural column"
+	}
+	for _, pt := range props {
+		key := shortName(pt.Name)
+		if prev, dup := owner[key]; dup {
+			return fmt.Errorf("table: exported column %q of property %s collides with %s", key, pt.Name, prev)
+		}
+		owner[key] = "property " + pt.Name
+	}
+	return nil
 }
 
 // Dataset is an in-memory generated property graph: the output of the
