@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
-# bench.sh — record the Figure 3 benchmark panels plus the export
+# bench.sh — record the Figure 3 benchmark panels, the export
 # throughput benchmarks (CSV serial vs concurrent vs JSONL vs columnar
-# on the Figure3_LFR100k dataset) with -benchmem, and write a
-# machine-readable snapshot (BENCH_pr<N>.json) so the perf trajectory
-# is tracked PR over PR.
+# on the Figure3_LFR100k dataset), and the datasynthd service path
+# (cold submit vs warm cache hit vs singleflight storm) with
+# -benchmem, and write a machine-readable snapshot (BENCH_pr<N>.json)
+# so the perf trajectory is tracked PR over PR.
 #
-# Usage: ./bench.sh [pr-number] [bench-regex]
+# Usage: ./bench.sh [pr-number] [bench-regex] [service-bench-regex]
 set -euo pipefail
 
-PR="${1:-4}"
+PR="${1:-5}"
 PATTERN="${2:-Figure3|Export}"
+SERVICE_PATTERN="${3:-Service}"
 OUT="BENCH_pr${PR}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -count 1 . | tee "$RAW"
+go test -run '^$' -bench "$SERVICE_PATTERN" -benchmem -count 1 ./internal/service | tee -a "$RAW"
 
 # Parse `go test -bench` output lines into JSON records. A line looks
 # like:

@@ -3,6 +3,7 @@
 //	datasynth -schema social.dsl -out ./dataset
 //	datasynth -schema social.dsl -format columnar   # binary bulk-load files
 //	datasynth -schema social.dsl -plan              # print the task plan only
+//	datasynth -schema social.dsl -validate          # validate + canonical hash only
 //	datasynth -example                              # print a starter schema
 //
 // The output directory receives one file per node type and per edge
@@ -64,6 +65,7 @@ func main() {
 	format := flag.String("format", "", "export format: csv (default), jsonl, columnar")
 	jsonl := flag.Bool("jsonl", false, "write JSON-lines files (shorthand for -format jsonl)")
 	planOnly := flag.Bool("plan", false, "print the dependency-analysis task plan and exit")
+	validate := flag.Bool("validate", false, "parse and validate the schema, print its canonical hash, and exit without generating")
 	example := flag.Bool("example", false, "print an example schema and exit")
 	verbose := flag.Bool("v", false, "log task progress")
 	workers := flag.Int("workers", 0, "scheduler and intra-task worker bound (0 = NumCPU, 1 = sequential); output is byte-identical at any count")
@@ -88,6 +90,18 @@ func main() {
 	s, err := dsl.Parse(string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if *validate {
+		// The same validation + canonical-hash pipeline datasynthd runs
+		// at job admission: the printed hash is the content address the
+		// service caches the dataset under (combined with the format).
+		if err := core.ValidateSchema(s); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("schema %s: valid (%d node types, %d edge types, seed %d)\n",
+			s.Name, len(s.Nodes), len(s.Edges), s.Seed)
+		fmt.Printf("canonical sha256: %s\n", core.CanonicalHash(s))
+		return
 	}
 	if *planOnly {
 		plan, err := depgraph.Analyze(s)

@@ -109,9 +109,32 @@
 //     windows and export workers (internal/core
 //     TestExportedDatasetGoldenDeterminism and its refined variant).
 //
+// # Serving generation: datasynthd
+//
+// The determinism contract is what makes generation servable as
+// infrastructure. internal/service + cmd/datasynthd expose the engine
+// over HTTP behind a bounded job queue and a content-addressable
+// dataset cache keyed on (schema-semantics version, canonical schema,
+// export format) — the canonical schema being dsl.Print's rendering,
+// hashed by core.CanonicalHash, so surface spelling never splits the
+// key and the embedded seed always does. Because a dataset is a pure
+// function of that key, a cache hit is provably byte-identical to
+// regeneration (pinned by TestServiceEndToEndByteIdentical against a
+// fresh direct export), and concurrent identical submissions collapse
+// onto one generation via singleflight — the job id is the cache key.
+// Cache entries commit two-phase (staged export + manifest, then a
+// directory rename) and carry per-file SHA-256s; a corrupted entry is
+// evicted at lookup and regenerated, never served. Per-job resource
+// limits (max nodes/edges, queue bound, generation timeout via
+// Engine.GenerateCtx's task-granular cancellation) and graceful
+// SIGTERM drain make it safe to park in front of real traffic; see
+// docs/service.md.
+//
 // The library lives under internal/ (see README.md for the map);
 // cmd/datasynth generates datasets from DSL schemas (-format
-// csv|jsonl|columnar, -exportworkers), cmd/sbmpart-eval regenerates
+// csv|jsonl|columnar, -exportworkers; -validate prints the canonical
+// schema hash without generating), cmd/datasynthd serves generation
+// over HTTP, cmd/sbmpart-eval regenerates
 // the paper's evaluation and cmd/graphstats validates exported
 // datasets in either connector format. The benchmarks in bench_test.go
 // cover every table and figure of the paper, and export_bench_test.go

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"datasynth/internal/dsl"
+)
+
+func TestGenerateCtxCanceled(t *testing.T) {
+	s, err := dsl.Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first task dispatches
+	if _, err := New(s).GenerateCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GenerateCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestGenerateCtxBackgroundMatchesGenerate(t *testing.T) {
+	s, err := dsl.Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(s).GenerateCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NodeCounts["Person"] != 2000 {
+		t.Errorf("Person count = %d", d.NodeCounts["Person"])
+	}
+}
+
+func TestRunReportJSON(t *testing.T) {
+	s, err := dsl.Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(s)
+	d, err := e.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Export(d, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(e.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		TotalNS      int64    `json:"total_ns"`
+		CriticalPath []string `json:"critical_path"`
+		Timings      []struct {
+			ID   string `json:"id"`
+			Kind string `json:"kind"`
+		} `json:"timings"`
+		ExportFiles []struct {
+			Name  string `json:"name"`
+			Bytes int64  `json:"bytes"`
+		} `json:"export_files"`
+		EndToEndNS int64 `json:"end_to_end_ns"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v\n%s", err, raw)
+	}
+	if got.TotalNS <= 0 || got.EndToEndNS < got.TotalNS {
+		t.Errorf("implausible totals: total=%d end_to_end=%d", got.TotalNS, got.EndToEndNS)
+	}
+	if len(got.Timings) == 0 || len(got.CriticalPath) == 0 {
+		t.Fatalf("report JSON missing timings/critical path:\n%s", raw)
+	}
+	// The export hop must appear on the serialized critical path.
+	if last := got.CriticalPath[len(got.CriticalPath)-1]; !strings.HasPrefix(last, "export:") {
+		t.Errorf("critical path does not end with the export hop: %v", got.CriticalPath)
+	}
+	for _, f := range got.ExportFiles {
+		if f.Bytes <= 0 {
+			t.Errorf("export file %s serialized with %d bytes", f.Name, f.Bytes)
+		}
+	}
+}

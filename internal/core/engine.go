@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -209,12 +210,22 @@ func (st *runState) setFusedCol(typeName, propName string, fc *fusedColumn) {
 
 // Generate executes the schema and returns the dataset.
 func (e *Engine) Generate() (*table.Dataset, error) {
+	return e.GenerateCtx(context.Background())
+}
+
+// GenerateCtx is Generate with cooperative cancellation: when ctx is
+// done, no further task is dispatched, in-flight tasks finish, and the
+// context's error is returned. Cancellation is task-granular — the
+// engine never abandons a half-written table — which is the contract
+// the generation service's per-job timeout relies on: a timed-out job
+// releases its worker as soon as the current task completes.
+func (e *Engine) GenerateCtx(ctx context.Context) (*table.Dataset, error) {
 	plan, err := depgraph.Analyze(e.Schema)
 	if err != nil {
 		return nil, err
 	}
 	st := newRunState()
-	if err := e.runPlan(st, plan); err != nil {
+	if err := e.runPlan(ctx, st, plan); err != nil {
 		return nil, err
 	}
 	// Node types with no properties still need their counts resolved
@@ -232,7 +243,7 @@ func (e *Engine) Generate() (*table.Dataset, error) {
 // sends never block (the channel holds every task), completion
 // bookkeeping happens under one mutex, and the first task error stops
 // dispatch; in-flight tasks drain before the error is returned.
-func (e *Engine) runPlan(st *runState, plan *depgraph.Plan) error {
+func (e *Engine) runPlan(ctx context.Context, st *runState, plan *depgraph.Plan) error {
 	n := len(plan.Tasks)
 	if n == 0 {
 		return nil
@@ -289,6 +300,10 @@ func (e *Engine) runPlan(st *runState, plan *depgraph.Plan) error {
 			defer wg.Done()
 			for i := range ready {
 				mu.Lock()
+				if firstErr == nil && ctx.Err() != nil {
+					firstErr = fmt.Errorf("core: generation canceled: %w", ctx.Err())
+					closeReady()
+				}
 				failed := firstErr != nil
 				mu.Unlock()
 				if failed {

@@ -2,6 +2,7 @@ package match
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"datasynth/internal/graph"
@@ -72,6 +73,17 @@ func (p *SBMPart) PartitionMultiPass(g *graph.Graph, order []int64, extra int) (
 		ws = newRefineWindowState(refineOrder, n, window, p.Workers, k)
 	}
 
+	// Per-pass joint-matrix rebuild shards: resolved once, scratch
+	// allocated once and reused across passes.
+	rebuildWorkers := rebuildJointWorkers(p.Workers, n)
+	var rebuildScratch [][]float64
+	if rebuildWorkers > 1 {
+		rebuildScratch = make([][]float64, rebuildWorkers-1)
+		for i := range rebuildScratch {
+			rebuildScratch[i] = make([]float64, k*k)
+		}
+	}
+
 	for pass := 0; pass < extra; pass++ {
 		passStart := time.Now()
 		copy(prev, assign)
@@ -82,24 +94,10 @@ func (p *SBMPart) PartitionMultiPass(g *graph.Graph, order []int64, extra int) (
 			usedNew[t] = 0
 		}
 		// cur starts as the full joint matrix of the previous assignment
-		// (each undirected edge counted once; mirrored off-diagonal).
-		// The increments are integral, so this rebuild is exact in
-		// float64 and independent of traversal order.
-		for i := range cur {
-			cur[i] = 0
-		}
-		for v := int64(0); v < n; v++ {
-			for _, u := range g.Neighbors(v) {
-				if u <= v {
-					continue
-				}
-				a, b := prev[v], prev[u]
-				cur[a*kk+b]++
-				if a != b {
-					cur[b*kk+a]++
-				}
-			}
-		}
+		// (each undirected edge counted once; mirrored off-diagonal);
+		// rebuilt sharded across workers, exactly — see
+		// rebuildJointMatrix.
+		rebuildJointMatrix(g, prev, cur, kk, rebuildWorkers, rebuildScratch)
 		if ws != nil {
 			err = p.refinePassWindowed(g, ws, prev, assign, cur, usedNew, targetP, m, cnt, touched)
 		} else {
@@ -111,6 +109,86 @@ func (p *SBMPart) PartitionMultiPass(g *graph.Graph, order []int64, extra int) (
 		p.PassTimes = append(p.PassTimes, time.Since(passStart))
 	}
 	return assign, nil
+}
+
+// rebuildMinShard is the minimum node range a joint-matrix rebuild
+// shard must own: fanning out a tiny graph costs more in k×k scratch
+// zeroing and merging than the edge scan itself.
+const rebuildMinShard = 4096
+
+// rebuildJointWorkers resolves how many shards the per-pass rebuild
+// uses: the partitioner's worker bound, capped by the shard floor.
+func rebuildJointWorkers(workers int, n int64) int {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if max := n / rebuildMinShard; int64(workers) > max {
+		workers = int(max)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// rebuildJointMatrix recomputes into cur the k×k joint matrix of
+// assignment prev: each undirected edge counted once (owned by its
+// lower endpoint), mirrored off-diagonal. The scan shards freely over
+// node ranges because every increment is integral — float64 addition
+// of integers below 2^53 is exact and associative — so the shard-local
+// partial matrices sum to bit-identical totals under any shard
+// decomposition: the serial scan and every worker count produce the
+// same bytes (locked by TestRebuildJointMatrixSharded). Shard s owns
+// the contiguous range [n·s/W, n·(s+1)/W); shard 0 accumulates
+// directly into cur on the calling goroutine, shards 1…W-1 into the
+// caller-provided scratch matrices, merged in shard order.
+func rebuildJointMatrix(g *graph.Graph, prev []int64, cur []float64, kk int64, workers int, scratch [][]float64) {
+	for i := range cur {
+		cur[i] = 0
+	}
+	n := g.N()
+	if workers <= 1 {
+		rebuildJointRange(g, prev, cur, kk, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 1; s < workers; s++ {
+		local := scratch[s-1]
+		for i := range local {
+			local[i] = 0
+		}
+		lo := n * int64(s) / int64(workers)
+		hi := n * int64(s+1) / int64(workers)
+		wg.Add(1)
+		go func(lo, hi int64, local []float64) {
+			defer wg.Done()
+			rebuildJointRange(g, prev, local, kk, lo, hi)
+		}(lo, hi, local)
+	}
+	rebuildJointRange(g, prev, cur, kk, 0, n/int64(workers))
+	wg.Wait()
+	for _, local := range scratch[:workers-1] {
+		for i, v := range local {
+			cur[i] += v
+		}
+	}
+}
+
+// rebuildJointRange accumulates the joint-matrix contributions of the
+// edges owned by nodes in [lo, hi).
+func rebuildJointRange(g *graph.Graph, prev []int64, cur []float64, kk, lo, hi int64) {
+	for v := lo; v < hi; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u <= v {
+				continue
+			}
+			a, b := prev[v], prev[u]
+			cur[a*kk+b]++
+			if a != b {
+				cur[b*kk+a]++
+			}
+		}
+	}
 }
 
 // refineWindowSize resolves the refinement window: an explicit

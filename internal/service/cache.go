@@ -1,0 +1,295 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Content-addressable dataset cache. An entry is a directory
+// cacheDir/<key> holding the exported table files plus manifest.json;
+// the key is the canonical schema hash (which embeds the seed and the
+// schema version, see core.CanonicalHash) joined with the export
+// format. The cache is sound *only because* of the engine's
+// determinism contract — a dataset is a pure function of (schema
+// version, canonical schema, format), byte-identical at any worker
+// count — so serving cached bytes is provably indistinguishable from
+// regenerating them.
+//
+// Integrity: the manifest records the size and SHA-256 of every file.
+// An entry is validated (every hash re-checked) the first time this
+// process touches it; a corrupted entry — truncated file, flipped
+// bytes, missing manifest — is evicted on the spot and the lookup
+// reports a miss, so the job layer regenerates instead of serving bad
+// bytes. Validated keys are memoized in memory, keeping the hash check
+// off the hot hit path.
+
+// manifestName is the per-entry metadata file; it is never served as a
+// table.
+const manifestName = "manifest.json"
+
+// cacheTempPrefix marks in-progress entry directories; a crash leaves
+// at worst a temp directory that a fresh store of the same key sweeps
+// away.
+const cacheTempPrefix = ".tmp-"
+
+// ManifestFile describes one exported table file of a cache entry.
+type ManifestFile struct {
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the metadata of one cache entry.
+type Manifest struct {
+	Version       int             `json:"version"`
+	SchemaVersion int             `json:"schema_version"`
+	Key           string          `json:"key"`
+	Graph         string          `json:"graph"`
+	Seed          uint64          `json:"seed"`
+	Format        string          `json:"format"`
+	CanonicalSHA  string          `json:"canonical_sha256"`
+	Created       time.Time       `json:"created"`
+	Nodes         int64           `json:"nodes"`
+	Edges         int64           `json:"edges"`
+	Files         []ManifestFile  `json:"files"`
+	Report        json.RawMessage `json:"report,omitempty"`
+}
+
+// File returns the manifest entry for a table file, matching either
+// the exact file name or the name without its extension.
+func (m *Manifest) File(name string) *ManifestFile {
+	for i := range m.Files {
+		f := &m.Files[i]
+		if f.Name == name || strings.TrimSuffix(f.Name, filepath.Ext(f.Name)) == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// diskCache is the on-disk entry store.
+type diskCache struct {
+	root string
+
+	mu        sync.Mutex
+	validated map[string]*Manifest     // keys hash-verified this process
+	inflight  map[string]chan struct{} // keys being verified right now
+}
+
+func newDiskCache(root string) (*diskCache, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskCache{
+		root:      root,
+		validated: map[string]*Manifest{},
+		inflight:  map[string]chan struct{}{},
+	}, nil
+}
+
+func (c *diskCache) entryDir(key string) string { return filepath.Join(c.root, key) }
+
+// lookup returns the manifest of a valid cache entry, or nil on miss.
+// evicted reports that an entry existed but failed integrity checks
+// and was removed. Validation (the full per-file re-hash) is
+// singleflighted per key: concurrent lookups of the same unvalidated
+// entry wait for one verifier instead of each re-hashing the files —
+// the same herd-collapse discipline the job layer applies to
+// generation.
+func (c *diskCache) lookup(key string) (*Manifest, bool, error) {
+	for {
+		c.mu.Lock()
+		if m, ok := c.validated[key]; ok {
+			c.mu.Unlock()
+			return m, false, nil
+		}
+		if ch, busy := c.inflight[key]; busy {
+			c.mu.Unlock()
+			<-ch
+			// The verifier finished: either the key is validated now
+			// (next iteration hits the memo) or the entry was bad and
+			// evicted (next iteration finds no manifest — a cheap stat).
+			continue
+		}
+		ch := make(chan struct{})
+		c.inflight[key] = ch
+		c.mu.Unlock()
+
+		m, evicted, err := c.verifyEntry(key)
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil && m != nil {
+			c.validated[key] = m
+		}
+		close(ch)
+		c.mu.Unlock()
+		return m, evicted, err
+	}
+}
+
+// verifyEntry reads and integrity-checks one entry off disk.
+func (c *diskCache) verifyEntry(key string) (m *Manifest, evicted bool, err error) {
+	dir := c.entryDir(key)
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	m = new(Manifest)
+	if verr := c.verify(dir, raw, m, key); verr != nil {
+		// Corrupted entry: evict so the caller regenerates. The removal
+		// itself failing is fatal — we must never serve from a directory
+		// we know is bad.
+		if rerr := os.RemoveAll(dir); rerr != nil {
+			return nil, false, fmt.Errorf("service: evicting corrupt cache entry %s: %w (cause: %v)", key, rerr, verr)
+		}
+		return nil, true, nil
+	}
+	return m, false, nil
+}
+
+// verify parses a manifest and re-checks every file's size and SHA-256.
+func (c *diskCache) verify(dir string, raw []byte, m *Manifest, key string) error {
+	if err := json.Unmarshal(raw, m); err != nil {
+		return fmt.Errorf("manifest unparseable: %w", err)
+	}
+	if m.Key != key {
+		return fmt.Errorf("manifest key %q does not match entry %q", m.Key, key)
+	}
+	if len(m.Files) == 0 {
+		return fmt.Errorf("manifest lists no files")
+	}
+	for _, f := range m.Files {
+		sum, n, err := hashFile(filepath.Join(dir, f.Name))
+		if err != nil {
+			return fmt.Errorf("file %s: %w", f.Name, err)
+		}
+		if n != f.Bytes {
+			return fmt.Errorf("file %s is %d bytes, manifest says %d", f.Name, n, f.Bytes)
+		}
+		if sum != f.SHA256 {
+			return fmt.Errorf("file %s fails its checksum", f.Name)
+		}
+	}
+	return nil
+}
+
+// store commits a freshly exported entry: the caller has already
+// exported the table files into a temp directory (stageDir, obtained
+// from stage); store hashes them, writes the manifest, and renames the
+// directory to its final key — the same two-phase commit discipline as
+// table.Export, so a crash or failure never leaves a half-entry under
+// the key.
+func (c *diskCache) store(key string, stageDir string, m *Manifest) (*Manifest, error) {
+	names, err := exportedFiles(stageDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("service: staged entry %s has no files", key)
+	}
+	m.Files = make([]ManifestFile, len(names))
+	for i, name := range names {
+		sum, n, err := hashFile(filepath.Join(stageDir, name))
+		if err != nil {
+			return nil, err
+		}
+		m.Files[i] = ManifestFile{Name: name, Bytes: n, SHA256: sum}
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(stageDir, manifestName), raw, 0o644); err != nil {
+		return nil, err
+	}
+	final := c.entryDir(key)
+	// The key cannot be concurrently stored (singleflight), but a stale
+	// or previously evicted directory may linger; sweep it before the
+	// rename.
+	if err := os.RemoveAll(final); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(stageDir, final); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.validated[key] = m
+	c.mu.Unlock()
+	return m, nil
+}
+
+// stage returns the staging directory for a key, guaranteed empty.
+func (c *diskCache) stage(key string) (string, error) {
+	dir := filepath.Join(c.root, cacheTempPrefix+key)
+	if err := os.RemoveAll(dir); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// discard removes a staging directory after a failed store.
+func (c *diskCache) discard(stageDir string) { os.RemoveAll(stageDir) }
+
+// open opens a committed entry file for streaming.
+func (c *diskCache) open(key, name string) (*os.File, error) {
+	return os.Open(filepath.Join(c.entryDir(key), name))
+}
+
+// entries counts committed entries on disk (for /v1/stats).
+func (c *diskCache) entries() int {
+	des, err := os.ReadDir(c.root)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, de := range des {
+		if de.IsDir() && !strings.HasPrefix(de.Name(), cacheTempPrefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// exportedFiles lists the table files of a staged export directory in
+// sorted order (ReadDir sorts), excluding the manifest and any temp
+// debris.
+func exportedFiles(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if de.IsDir() || de.Name() == manifestName || strings.HasPrefix(de.Name(), ".") {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	return names, nil
+}
+
+// hashFile returns the hex SHA-256 and length of a file.
+func hashFile(path string) (string, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return "", 0, err
+	}
+	return hex.EncodeToString(h.Sum(nil)), n, nil
+}

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"datasynth/internal/table"
+)
+
+// HTTP surface of the service:
+//
+//	POST /v1/jobs                       submit a schema; returns the job (id = cache key)
+//	GET  /v1/jobs/{id}                  job status + timing report (?wait=30s blocks)
+//	GET  /v1/jobs/{id}/tables/{table}   stream one exported table file
+//	GET  /v1/healthz                    liveness
+//	GET  /v1/stats                      queue depth, cache hit rate, in-flight engines
+//
+// Submission bodies: raw DSL text (any non-JSON content type; the
+// format comes from the ?format= query parameter), or a JSON object
+// {"schema": "...", "format": "csv|jsonl|columnar"}. Table files
+// stream verbatim from the committed cache entry — no re-encoding —
+// with the manifest's SHA-256 as a strong ETag, so clients can
+// revalidate a download for free.
+
+// maxSchemaBytes bounds a submitted schema body; DSL schemas are
+// kilobytes, so anything near this is a mistake or abuse.
+const maxSchemaBytes = 1 << 20
+
+// maxWait bounds the ?wait= long poll on the job-status endpoint.
+const maxWait = 5 * time.Minute
+
+// submitRequest is the JSON submission body.
+type submitRequest struct {
+	Schema string `json:"schema"`
+	Format string `json:"format,omitempty"`
+}
+
+// submitResponse extends the job view with the submission outcome.
+type submitResponse struct {
+	JobView
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/tables/{table}", s.handleTable)
+	return mux
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSchemaBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("schema body exceeds %d bytes", maxSchemaBytes))
+		} else {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("reading schema body: %w", err))
+		}
+		return
+	}
+	src := string(body)
+	formatName := r.URL.Query().Get("format")
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var req submitRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+			return
+		}
+		src = req.Schema
+		if req.Format != "" {
+			formatName = req.Format
+		}
+	}
+	if strings.TrimSpace(src) == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("empty schema"))
+		return
+	}
+	if formatName == "" {
+		formatName = "csv"
+	}
+	format, err := table.ParseFormat(formatName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	res, err := s.Submit(src, format)
+	if err != nil {
+		var le *LimitError
+		var ie *internalError
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, err)
+		case errors.As(err, &le):
+			writeErr(w, http.StatusUnprocessableEntity, err)
+		case errors.As(err, &ie):
+			// Cache I/O fault — the server's problem, not the schema's.
+			writeErr(w, http.StatusInternalServerError, err)
+		default:
+			// Parse or validation failure.
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	code := http.StatusAccepted
+	if res.CacheHit {
+		code = http.StatusOK
+	}
+	sr := submitResponse{JobView: res.Job.View(), Deduped: res.Deduped}
+	// cache_hit in the submit response is submission-level: true
+	// whenever this request was served without a new generation —
+	// from the disk cache or from an already completed identical job.
+	if res.CacheHit {
+		sr.CacheHit = true
+	}
+	writeJSON(w, code, sr)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid wait duration: %w", err))
+			return
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(wait):
+		case <-s.drainCh:
+			// Shutting down: answer with the current status so the
+			// connection frees and the HTTP drain can complete.
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	m := j.Manifest()
+	if m == nil {
+		v := j.View()
+		if v.Status == StatusFailed {
+			writeErr(w, http.StatusConflict, fmt.Errorf("job failed: %s", v.Error))
+			return
+		}
+		writeErr(w, http.StatusConflict, fmt.Errorf("job is %s; tables stream once it is done", v.Status))
+		return
+	}
+	// Only manifest-listed names resolve, so a crafted path can never
+	// escape the entry directory.
+	mf := m.File(r.PathValue("table"))
+	if mf == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no table file %q in this dataset", r.PathValue("table")))
+		return
+	}
+	f, err := s.cache.open(j.ID(), mf.Name)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("cache entry unreadable: %w", err))
+		return
+	}
+	defer f.Close()
+	format, _ := table.ParseFormat(m.Format)
+	w.Header().Set("Content-Type", format.ContentType())
+	w.Header().Set("ETag", `"`+mf.SHA256+`"`)
+	w.Header().Set("X-Datasynth-Cache-Key", j.ID())
+	http.ServeContent(w, r, mf.Name, m.Created, f)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

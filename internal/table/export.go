@@ -60,6 +60,34 @@ func (f Format) Ext() string {
 	}
 }
 
+// ContentType returns the HTTP media type a file of the format should
+// be served under. The generation service streams committed export
+// files verbatim — no re-encoding on the serve path — so the media
+// type is the only transformation between cache dir and response.
+func (f Format) ContentType() string {
+	switch f {
+	case FormatJSONL:
+		// The de-facto JSON-lines type; one JSON object per line.
+		return "application/jsonl; charset=utf-8"
+	case FormatColumnar:
+		return "application/octet-stream"
+	default:
+		return "text/csv; charset=utf-8"
+	}
+}
+
+// NodeFileName returns the file name a node type exports to in the
+// given format — the single source of naming truth shared by the
+// export pipeline and anything serving a committed export directory.
+func NodeFileName(typeName string, f Format) string {
+	return "nodes_" + typeName + f.Ext()
+}
+
+// EdgeFileName returns the file name an edge type exports to.
+func EdgeFileName(typeName string, f Format) string {
+	return "edges_" + typeName + f.Ext()
+}
+
 // ParseFormat parses a CLI format name.
 func ParseFormat(s string) (Format, error) {
 	switch s {
@@ -126,7 +154,7 @@ func (d *Dataset) exportJobs(f Format) []exportJob {
 		default:
 			write = func(w io.Writer) error { return WriteNodeCSV(w, t, props, NodeCSVOptions{}) }
 		}
-		jobs = append(jobs, exportJob{file: "nodes_" + t + f.Ext(), write: write})
+		jobs = append(jobs, exportJob{file: NodeFileName(t, f), write: write})
 	}
 	for _, t := range edgeTypes {
 		t, et, props := t, d.Edges[t], d.EdgeProps[t]
@@ -147,7 +175,7 @@ func (d *Dataset) exportJobs(f Format) []exportJob {
 		default:
 			write = func(w io.Writer) error { return WriteEdgeCSV(w, et, props, NodeCSVOptions{}) }
 		}
-		jobs = append(jobs, exportJob{file: "edges_" + t + f.Ext(), write: write})
+		jobs = append(jobs, exportJob{file: EdgeFileName(t, f), write: write})
 	}
 	return jobs
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -248,6 +249,38 @@ func TestParseFormat(t *testing.T) {
 	}
 	if FormatColumnar.String() != "columnar" {
 		t.Errorf("String() = %s", FormatColumnar)
+	}
+}
+
+// TestFileNamingHelpers pins the naming contract the service relies on
+// to stream a committed export directory without re-encoding: the
+// helper names must be exactly what the export pipeline writes.
+func TestFileNamingHelpers(t *testing.T) {
+	if got := NodeFileName("Person", FormatCSV); got != "nodes_Person.csv" {
+		t.Errorf("NodeFileName = %s", got)
+	}
+	if got := EdgeFileName("knows", FormatColumnar); got != "edges_knows.dsc" {
+		t.Errorf("EdgeFileName = %s", got)
+	}
+	d := NewDataset()
+	d.NodeCounts["Person"] = 1
+	d.NodeProps["Person"] = []*PropertyTable{NewPropertyTable("Person.age", KindInt, 1)}
+	et := NewEdgeTable("knows", 1)
+	et.Add(0, 0)
+	d.Edges["knows"] = et
+	for _, f := range []Format{FormatCSV, FormatJSONL, FormatColumnar} {
+		jobs := d.exportJobs(f)
+		got := make([]string, len(jobs))
+		for i, j := range jobs {
+			got[i] = j.file
+		}
+		want := []string{NodeFileName("Person", f), EdgeFileName("knows", f)}
+		if !slices.Equal(got, want) {
+			t.Errorf("%s: exportJobs files %v, helpers say %v", f, got, want)
+		}
+		if ct := f.ContentType(); ct == "" {
+			t.Errorf("%s has no content type", f)
+		}
 	}
 }
 
