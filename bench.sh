@@ -9,7 +9,7 @@
 # Usage: ./bench.sh [pr-number] [bench-regex] [service-bench-regex]
 set -euo pipefail
 
-PR="${1:-5}"
+PR="${1:-6}"
 PATTERN="${2:-Figure3|Export}"
 SERVICE_PATTERN="${3:-Service}"
 OUT="BENCH_pr${PR}.json"

@@ -63,6 +63,20 @@ func BenchmarkFigure3_RMAT16_K16(b *testing.B) {
 	benchPanel(b, exp.Panel{Generator: exp.RMAT, Size: 16, K: 16, Seed: 36})
 }
 
+// --- Scale ceiling: the paper's full-size panels, run as benchmarks so
+// regressions at depth (sharded RMAT generation, radix dedup, LFR
+// community wiring) show up in wall-clock rather than only at laptop
+// scale. RMAT scale 20 is 2^20 nodes; LFR 1M matches Figure 3's
+// largest LFR panel.
+
+func BenchmarkFigure3_RMAT20_K16(b *testing.B) {
+	benchPanel(b, exp.Panel{Generator: exp.RMAT, Size: 20, K: 16, Seed: 37})
+}
+
+func BenchmarkFigure3_LFR1M_K16(b *testing.B) {
+	benchPanel(b, exp.Panel{Generator: exp.LFR, Size: 1000000, K: 16, Seed: 38})
+}
+
 // --- Figure 4: fixed size, k in {4, 16, 64} ---
 
 func BenchmarkFigure4_LFR100k_K4(b *testing.B) {

@@ -46,6 +46,8 @@ func main() {
 	maxNodes := flag.Int64("maxnodes", 0, "per-job node limit (0 = unlimited)")
 	maxEdges := flag.Int64("maxedges", 0, "per-job edge limit (0 = unlimited)")
 	jobTimeout := flag.Duration("jobtimeout", 10*time.Minute, "per-job generation timeout (0 = none)")
+	maxJobs := flag.Int("maxjobs", 0, "in-memory job map bound, oldest finished jobs evicted first (0 = 4096, negative = unbounded)")
+	jobRetention := flag.Duration("jobretention", 0, "evict finished jobs older than this from the job map (0 = no age bound)")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	verbose := flag.Bool("v", false, "log job progress")
 	flag.Parse()
@@ -58,6 +60,8 @@ func main() {
 		MaxNodes:      *maxNodes,
 		MaxEdges:      *maxEdges,
 		JobTimeout:    *jobTimeout,
+		MaxJobs:       *maxJobs,
+		JobRetention:  *jobRetention,
 	}
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "datasynthd: "+format+"\n", args...)

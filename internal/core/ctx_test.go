@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"os"
 	"strings"
 	"testing"
 
@@ -33,6 +34,31 @@ func TestGenerateCtxBackgroundMatchesGenerate(t *testing.T) {
 	}
 	if d.NodeCounts["Person"] != 2000 {
 		t.Errorf("Person count = %d", d.NodeCounts["Person"])
+	}
+}
+
+// TestExportCtxCanceled: a canceled context stops Engine.ExportCtx
+// before anything hits disk — the export directory is never created,
+// so a service job that times out during generation can never smear a
+// partial export into its staging area.
+func TestExportCtxCanceled(t *testing.T) {
+	s, err := dsl.Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(s)
+	d, err := e.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir() + "/out"
+	if err := e.ExportCtx(ctx, d, dir); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExportCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+	if _, serr := os.Stat(dir); !os.IsNotExist(serr) {
+		t.Errorf("canceled export created %s", dir)
 	}
 }
 

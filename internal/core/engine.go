@@ -359,7 +359,7 @@ func (e *Engine) runTask(st *runState, plan *depgraph.Plan, t depgraph.Task) (st
 	case depgraph.TaskProperty:
 		return "", e.genNodeProperty(st, plan, t.Type, t.Prop)
 	case depgraph.TaskStructure:
-		return "", e.genStructure(st, plan, t.Type)
+		return e.genStructure(st, plan, t.Type)
 	case depgraph.TaskMatch:
 		return e.matchEdge(st, plan, t.Type)
 	case depgraph.TaskEdgeProperty:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"datasynth/internal/table"
@@ -14,8 +15,16 @@ import (
 // table) and atomic (temp files + rename; a failure leaves no partial
 // directory); see table.(*Dataset).Export.
 func (e *Engine) Export(d *table.Dataset, dir string) error {
+	return e.ExportCtx(context.Background(), d, dir)
+}
+
+// ExportCtx is Export under a context: cancellation aborts the write
+// between files (and before the commit) with all temp files cleaned
+// up, via table.(*Dataset).ExportCtx. The generation service uses this
+// to put its per-job deadline over the export leg, not just generation.
+func (e *Engine) ExportCtx(ctx context.Context, d *table.Dataset, dir string) error {
 	start := time.Now()
-	files, err := d.Export(dir, table.ExportOptions{Format: e.ExportFormat, Workers: e.exportWorkers()})
+	files, err := d.ExportCtx(ctx, dir, table.ExportOptions{Format: e.ExportFormat, Workers: e.exportWorkers()})
 	if err != nil {
 		return err
 	}

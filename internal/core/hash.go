@@ -33,8 +33,9 @@ import (
 // encodings — must bump it, invalidating every cached dataset.
 //
 // History: v1 was the PR-1 scheme; v2 re-keyed LFR intra-community
-// wiring onto per-community RNG streams (PR 2).
-const SchemaVersion = 2
+// wiring onto per-community RNG streams (PR 2); v3 re-keyed RMAT onto
+// sharded per-(round,shard) streams with radix dedup (PR 6).
+const SchemaVersion = 3
 
 // ValidateSchema runs the full static checking pipeline a schema must
 // pass before generation: referential validation (schema.Validate) and

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"datasynth/internal/dsl"
+)
+
+// TestEstimatedSizes: the admission estimate resolves counts the schema
+// never declares — the Message count through the 1→* creates edge, both
+// edge counts through the generators' closed forms — and lands within a
+// factor of two of what generation actually produces.
+func TestEstimatedSizes(t *testing.T) {
+	s, err := dsl.Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estNodes, estEdges, err := EstimatedSizes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estNodes <= 2000 {
+		t.Errorf("estimated nodes = %d, want > 2000 (inferred Message count missing)", estNodes)
+	}
+	if estEdges <= 0 {
+		t.Fatalf("estimated edges = %d, want > 0 (no edge count is declared)", estEdges)
+	}
+	d, err := New(s).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, edges int64
+	for _, n := range d.NodeCounts {
+		nodes += n
+	}
+	for _, et := range d.Edges {
+		edges += et.Len()
+	}
+	if estNodes > 2*nodes || nodes > 2*estNodes {
+		t.Errorf("estimated %d nodes, generated %d — off by more than 2x", estNodes, nodes)
+	}
+	if estEdges > 2*edges || edges > 2*estEdges {
+		t.Errorf("estimated %d edges, generated %d — off by more than 2x", estEdges, edges)
+	}
+}

@@ -17,74 +17,85 @@ import (
 
 // genStructure runs the edge type's structure generator. The resulting
 // edge table carries *anonymous* node ids until the match task rewrites
-// them into property-row (instance) ids.
-func (e *Engine) genStructure(st *runState, plan *depgraph.Plan, edgeName string) error {
+// them into property-row (instance) ids. The returned note carries the
+// generator's one-line telemetry (sgen.Noter — e.g. sharded RMAT's
+// round/draw counts) into the task timing report, like match tasks do
+// with their SBM-Part per-pass breakdown.
+func (e *Engine) genStructure(st *runState, plan *depgraph.Plan, edgeName string) (string, error) {
 	edge := e.Schema.EdgeType(edgeName)
 	seed := e.structureSeed(edgeName)
 	if c := edge.Correlation; c != nil && c.Fused {
-		return e.genFusedStructure(st, plan, edge, seed)
+		return "", e.genFusedStructure(st, plan, edge, seed)
 	}
 	monopartite := edge.Tail == edge.Head && e.SGens.HasMono(edge.Structure.Name)
 
 	var et *table.EdgeTable
+	var note string
 	if monopartite {
 		g, err := e.SGens.BuildMono(edge.Structure.Name, edge.Structure.Params, seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		// Shard-capable generators (e.g. LFR's intra-community wiring)
-		// inherit the engine's worker budget; their output is
-		// byte-identical at every worker count.
+		// Shard-capable generators (e.g. LFR's intra-community wiring,
+		// RMAT's slab rounds) inherit the engine's worker budget; their
+		// output is byte-identical at every worker count.
 		if ws, ok := g.(sgen.WorkerSettable); ok {
 			ws.SetWorkers(e.Workers)
 		}
 		var n int64
 		if edge.Count > 0 {
 			if n, err = g.NumNodesForEdges(edge.Count); err != nil {
-				return err
+				return "", err
 			}
 		} else if n, err = e.nodeCount(st, plan, edge.Tail); err != nil {
-			return err
+			return "", err
 		}
 		if et, err = g.Run(n); err != nil {
-			return err
+			return "", err
 		}
 		if err := et.Validate(n, n); err != nil {
-			return fmt.Errorf("core: structure generator %s: %w", g.Name(), err)
+			return "", fmt.Errorf("core: structure generator %s: %w", g.Name(), err)
+		}
+		if nt, ok := g.(sgen.Noter); ok {
+			note = nt.RunNote()
 		}
 	} else {
 		g, err := e.SGens.BuildBipartite(edge.Structure.Name, edge.Structure.Params, seed)
 		if err != nil {
-			return err
+			return "", err
 		}
 		var nTail int64
 		if edge.Count > 0 {
 			if nTail, err = g.NumTailsForEdges(edge.Count); err != nil {
-				return err
+				return "", err
 			}
 		} else if nTail, err = e.nodeCount(st, plan, edge.Tail); err != nil {
-			return err
+			return "", err
 		}
 		// 1→* mints fresh heads; other cardinalities need the head
 		// domain up front.
 		nHead := int64(-1)
 		if edge.Cardinality != schema.OneToMany && edge.Tail != edge.Head {
 			if nHead, err = e.nodeCount(st, plan, edge.Head); err != nil {
-				return err
+				return "", err
 			}
 		}
 		if edge.Cardinality == schema.OneToOne {
 			nHead = nTail
 		}
 		if et, err = g.RunBipartite(nTail, nHead); err != nil {
-			return err
+			return "", err
 		}
 	}
 	et.Name = edgeName
 	st.setEdgeTable(edgeName, et)
 	e.cacheEdgeSourcedCounts(st, plan, edgeName, et)
-	e.logf("structure %s: %d edges", edgeName, et.Len())
-	return nil
+	if note != "" {
+		e.logf("structure %s: %d edges (%s)", edgeName, et.Len(), note)
+	} else {
+		e.logf("structure %s: %d edges", edgeName, et.Len())
+	}
+	return note, nil
 }
 
 // cacheEdgeSourcedCounts resolves every node count sourced from this

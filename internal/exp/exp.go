@@ -138,6 +138,7 @@ func RunPanel(p Panel) (*Result, error) {
 		et, err = g.Run(n)
 	case RMAT:
 		g := sgen.NewRMAT(p.Seed)
+		g.Workers = p.Workers
 		n = int64(1) << uint(p.Size)
 		et, err = g.Run(n)
 	default:

@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,17 @@ import (
 // serial loop would have surfaced. fn must treat its index as the only
 // shared state it may write (e.g. one output slot per index).
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: ctx is checked
+// before each index is claimed, so a canceled or expired context stops
+// the fan-out at the next index boundary — in-flight fn calls still
+// run to completion (fn itself decides whether to observe ctx), and
+// ctx.Err() is reported with the same lowest-index discipline as fn
+// errors. A context that cancels after the last fn returned does not
+// retroactively fail the call.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -31,6 +43,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -44,6 +59,13 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		errIdx   int
 		wg       sync.WaitGroup
 	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -59,12 +81,12 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				if stop {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					fail(i, err)
+					return
+				}
 				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil || i < errIdx {
-						firstErr, errIdx = err, i
-					}
-					mu.Unlock()
+					fail(i, err)
 					return
 				}
 			}

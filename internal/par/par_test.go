@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -27,6 +29,52 @@ func TestForEachCoversEveryIndex(t *testing.T) {
 func TestForEachEmpty(t *testing.T) {
 	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestForEachCtxPreCanceled: an already-canceled context runs nothing
+// and surfaces ctx.Err(), at every worker count.
+func TestForEachCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEachCtx(ctx, 20, workers, func(int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Errorf("workers=%d: pre-canceled context still ran %d calls", workers, n)
+		}
+	}
+}
+
+// TestForEachCtxCancelMidRun: cancellation between indices stops the
+// fan-out from claiming new work and is reported as the error.
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEachCtx(ctx, 1000, workers, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Serial sees exactly indices 0..3; parallel may have a few
+		// in-flight claims past the cancel, but nothing like the full
+		// range.
+		if n := int(ran.Load()); n >= 1000 || (workers == 1 && n != 4) {
+			t.Errorf("workers=%d: %d calls ran after mid-run cancel", workers, n)
+		}
 	}
 }
 

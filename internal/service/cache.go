@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -189,8 +190,11 @@ func (c *diskCache) verify(dir string, raw []byte, m *Manifest, key string) erro
 // from stage); store hashes them, writes the manifest, and renames the
 // directory to its final key — the same two-phase commit discipline as
 // table.Export, so a crash or failure never leaves a half-entry under
-// the key.
-func (c *diskCache) store(key string, stageDir string, m *Manifest) (*Manifest, error) {
+// the key. The hash pass honours ctx between files, so a job deadline
+// covers manifest hashing too; once the hashes are in, the commit
+// itself (write + rename) runs to completion — aborting between those
+// two steps buys nothing and risks more cleanup states.
+func (c *diskCache) store(ctx context.Context, key string, stageDir string, m *Manifest) (*Manifest, error) {
 	names, err := exportedFiles(stageDir)
 	if err != nil {
 		return nil, err
@@ -200,6 +204,9 @@ func (c *diskCache) store(key string, stageDir string, m *Manifest) (*Manifest, 
 	}
 	m.Files = make([]ManifestFile, len(names))
 	for i, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sum, n, err := hashFile(filepath.Join(stageDir, name))
 		if err != nil {
 			return nil, err

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +62,14 @@ type Config struct {
 	// JobTimeout bounds one generation; a timed-out job fails and
 	// releases its worker at the next task boundary. 0 means no limit.
 	JobTimeout time.Duration
+	// MaxJobs bounds the in-memory job map: when an insert would push
+	// the map past the bound, the oldest finished jobs are evicted
+	// first. Queued and running jobs are never evicted. 0 means 4096;
+	// negative disables the bound.
+	MaxJobs int
+	// JobRetention evicts finished jobs older than this from the job map
+	// on each submission. 0 means no age bound.
+	JobRetention time.Duration
 	// Logf, if non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -84,6 +93,16 @@ func (c *Config) engineWorkers() int {
 		return runtime.NumCPU()
 	}
 	return c.EngineWorkers
+}
+
+func (c *Config) maxJobs() int {
+	if c.MaxJobs == 0 {
+		return 4096
+	}
+	if c.MaxJobs < 0 {
+		return 0 // disabled
+	}
+	return c.MaxJobs
 }
 
 // Submission errors the HTTP layer maps to distinct status codes.
@@ -256,12 +275,13 @@ type Service struct {
 	queue   chan *Job
 	wg      sync.WaitGroup
 
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	dedupHits   atomic.Int64
-	evictions   atomic.Int64
-	generations atomic.Int64
-	inFlight    atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	dedupHits    atomic.Int64
+	evictions    atomic.Int64
+	jobEvictions atomic.Int64
+	generations  atomic.Int64
+	inFlight     atomic.Int64
 }
 
 // New starts a service: creates the cache directory and launches the
@@ -339,6 +359,10 @@ func (s *Service) Submit(src string, format table.Format) (SubmitResult, error) 
 	if j, ok := s.jobs[key]; ok && !isFailed(j) {
 		return s.rideAlong(j), nil
 	}
+	// About to insert a job either way below: garbage-collect the map
+	// first so long-running services don't accumulate one Job per
+	// distinct schema forever.
+	s.pruneJobsLocked()
 	if m != nil {
 		s.cacheHits.Add(1)
 		j := newJob(key, sch, format)
@@ -386,6 +410,60 @@ func (s *Service) rideAlong(j *Job) SubmitResult {
 	}
 	s.dedupHits.Add(1)
 	return SubmitResult{Job: j, Deduped: true}
+}
+
+// pruneJobsLocked garbage-collects the in-memory job map ahead of one
+// insert: finished jobs past JobRetention go first, then — while the
+// insert would still push the map past MaxJobs — the oldest finished
+// jobs. Queued and running jobs are never evicted (the queue owns
+// them). Eviction is safe: a done job's dataset persists in the disk
+// cache, so resubmitting its schema is a cache hit, and a failed job
+// would be retried by the next submission anyway. Caller holds s.mu.
+func (s *Service) pruneJobsLocked() {
+	retention := s.cfg.JobRetention
+	maxJobs := s.cfg.maxJobs()
+	if retention <= 0 && maxJobs <= 0 {
+		return
+	}
+	type finishedJob struct {
+		key string
+		at  time.Time
+	}
+	var fin []finishedJob
+	for key, j := range s.jobs {
+		j.mu.Lock()
+		terminal := j.status == StatusDone || j.status == StatusFailed
+		at := j.finished
+		j.mu.Unlock()
+		if terminal {
+			fin = append(fin, finishedJob{key, at})
+		}
+	}
+	evict := func(key string) {
+		delete(s.jobs, key)
+		s.jobEvictions.Add(1)
+	}
+	if retention > 0 {
+		cutoff := time.Now().Add(-retention)
+		kept := fin[:0]
+		for _, f := range fin {
+			if f.at.Before(cutoff) {
+				evict(f.key)
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		fin = kept
+	}
+	if maxJobs > 0 && len(s.jobs)+1 > maxJobs {
+		sort.Slice(fin, func(a, b int) bool { return fin[a].at.Before(fin[b].at) })
+		for _, f := range fin {
+			if len(s.jobs)+1 <= maxJobs {
+				break
+			}
+			evict(f.key)
+		}
+	}
 }
 
 func isFailed(j *Job) bool {
@@ -442,20 +520,17 @@ func (s *Service) runJob(j *Job) {
 		s.failJob(j, err)
 		return
 	}
-	// A job whose generation squeaked in under the deadline must not
-	// start a potentially long export past it. (The export itself is
-	// not yet deadline-bounded — see the ROADMAP follow-on.)
-	if err := ctx.Err(); err != nil {
-		s.failJob(j, fmt.Errorf("service: job deadline exceeded before export: %w", err))
-		return
-	}
-
 	stageDir, err := s.cache.stage(j.id)
 	if err != nil {
 		s.failJob(j, err)
 		return
 	}
-	if err := eng.Export(d, stageDir); err != nil {
+	// The job deadline covers the whole pipeline: the export below is
+	// ctx-bounded (cancellation aborts between files with the staging
+	// temps cleaned up) and so is the store's hash pass, so a job cannot
+	// run long past JobTimeout just because generation squeaked in under
+	// it.
+	if err := eng.ExportCtx(ctx, d, stageDir); err != nil {
 		s.cache.discard(stageDir)
 		s.failJob(j, err)
 		return
@@ -487,7 +562,7 @@ func (s *Service) runJob(j *Job) {
 		Edges:         edges,
 		Report:        reportJSON,
 	}
-	m, err = s.cache.store(j.id, stageDir, m)
+	m, err = s.cache.store(ctx, j.id, stageDir, m)
 	if err != nil {
 		s.cache.discard(stageDir)
 		s.failJob(j, err)
@@ -502,25 +577,35 @@ func (s *Service) failJob(j *Job, err error) {
 	s.logf("job %s failed: %v", shortKey(j.id), err)
 }
 
-// checkDeclaredLimits enforces MaxNodes/MaxEdges on the schema's
-// explicit counts at admission — cheap rejection before any work.
-// Inferred counts are checked post-generation by checkDatasetLimits.
+// checkDeclaredLimits enforces MaxNodes/MaxEdges at admission — cheap
+// rejection before any work. The sizes come from core.EstimatedSizes,
+// which resolves inferred counts from generator parameters (RMAT's edge
+// factor, a 1→* edge's mean out-degree sizing its head type, …), so a
+// schema declaring 600 nodes but implying millions of edges is turned
+// away at submit. The estimate is a lower bound; checkDatasetLimits
+// stays the authoritative post-generation check.
 func (s *Service) checkDeclaredLimits(sch *schema.Schema) error {
 	if s.cfg.MaxNodes <= 0 && s.cfg.MaxEdges <= 0 {
 		return nil
 	}
-	var nodes, edges int64
-	for i := range sch.Nodes {
-		nodes += sch.Nodes[i].Count
-	}
-	for i := range sch.Edges {
-		edges += sch.Edges[i].Count
+	nodes, edges, err := core.EstimatedSizes(sch)
+	if err != nil {
+		// The dependency analysis failed; generation will surface the
+		// same error with full context, so fall back to the explicit
+		// declared counts and let the job fail there.
+		nodes, edges = 0, 0
+		for i := range sch.Nodes {
+			nodes += sch.Nodes[i].Count
+		}
+		for i := range sch.Edges {
+			edges += sch.Edges[i].Count
+		}
 	}
 	if s.cfg.MaxNodes > 0 && nodes > s.cfg.MaxNodes {
-		return &LimitError{fmt.Sprintf("service: schema declares %d nodes, limit is %d", nodes, s.cfg.MaxNodes)}
+		return &LimitError{fmt.Sprintf("service: schema implies ~%d nodes, limit is %d", nodes, s.cfg.MaxNodes)}
 	}
 	if s.cfg.MaxEdges > 0 && edges > s.cfg.MaxEdges {
-		return &LimitError{fmt.Sprintf("service: schema declares %d edges, limit is %d", edges, s.cfg.MaxEdges)}
+		return &LimitError{fmt.Sprintf("service: schema implies ~%d edges, limit is %d", edges, s.cfg.MaxEdges)}
 	}
 	return nil
 }
@@ -592,10 +677,11 @@ type Stats struct {
 	InFlight      int64   `json:"in_flight"`
 	Draining      bool    `json:"draining"`
 	Jobs          struct {
-		Queued  int `json:"queued"`
-		Running int `json:"running"`
-		Done    int `json:"done"`
-		Failed  int `json:"failed"`
+		Queued  int   `json:"queued"`
+		Running int   `json:"running"`
+		Done    int   `json:"done"`
+		Failed  int   `json:"failed"`
+		Evicted int64 `json:"evicted"`
 	} `json:"jobs"`
 	Cache struct {
 		Entries   int     `json:"entries"`
@@ -645,6 +731,7 @@ func (s *Service) Stats() Stats {
 	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
 		st.Cache.HitRate = float64(st.Cache.Hits) / float64(total)
 	}
+	st.Jobs.Evicted = s.jobEvictions.Load()
 	st.Cache.Evictions = s.evictions.Load()
 	st.SingleflightDedups = s.dedupHits.Load()
 	st.Generations = s.generations.Load()

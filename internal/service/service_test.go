@@ -406,6 +406,44 @@ func TestAdmissionLimits(t *testing.T) {
 	}
 }
 
+// TestAdmissionInferredLimits: the admission check also catches sizes
+// the schema never declares. The test schema declares only 600 Persons;
+// the Message count (~1.5 per Person via powerlaw-out) and both edge
+// counts (LFR's degree model, the 1→* out-degrees) are inferred from
+// generator parameters — and still rejected at submit with 422, before
+// any generation.
+func TestAdmissionInferredLimits(t *testing.T) {
+	var le *LimitError
+	// 600 declared nodes pass a 700-node limit on declared counts alone;
+	// the inferred Messages push the estimate past it.
+	svc := newTestService(t, Config{MaxNodes: 700})
+	if _, err := svc.Submit(testSchema(11), table.FormatCSV); !errors.As(err, &le) {
+		t.Fatalf("schema with ~1500 implied nodes against a 700-node limit: %v", err)
+	}
+	if g := svc.Generations(); g != 0 {
+		t.Errorf("rejected schema still generated (%d)", g)
+	}
+
+	// No edge count is declared anywhere in the schema; the LFR estimate
+	// (600 nodes x avgDegree 6 / 2 = 1800) must trip a 1000-edge limit.
+	svc = newTestService(t, Config{MaxEdges: 1000})
+	if _, err := svc.Submit(testSchema(12), table.FormatCSV); !errors.As(err, &le) {
+		t.Fatalf("schema with ~1800 implied edges against a 1000-edge limit: %v", err)
+	}
+	if g := svc.Generations(); g != 0 {
+		t.Errorf("rejected schema still generated (%d)", g)
+	}
+
+	// Sanity: the same schema is admitted under generous limits, so the
+	// estimator is not just rejecting everything.
+	svc = newTestService(t, Config{MaxNodes: 100000, MaxEdges: 100000})
+	res, err := svc.Submit(testSchema(13), table.FormatCSV)
+	if err != nil {
+		t.Fatalf("generous limits rejected the schema: %v", err)
+	}
+	waitDone(t, res.Job)
+}
+
 // TestJobTimeout: a job that cannot finish within JobTimeout fails and
 // releases its worker; it is not cached.
 func TestJobTimeout(t *testing.T) {
@@ -584,6 +622,87 @@ func TestHTTPErrors(t *testing.T) {
 	if st.Generations < 1 || st.Cache.Entries < 1 {
 		t.Errorf("stats implausible after a completed job: %+v", st)
 	}
+}
+
+// TestJobMapEviction: the in-memory job map is bounded — once MaxJobs
+// is reached, the oldest finished jobs are evicted on the next submit,
+// /v1/stats reports the eviction, and resubmitting an evicted schema is
+// served from the disk cache (no regeneration).
+func TestJobMapEviction(t *testing.T) {
+	svc := newTestService(t, Config{MaxJobs: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	first, err := svc.Submit(testSchema(41), table.FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first.Job)
+	for _, seed := range []int{42, 43} {
+		res, err := svc.Submit(testSchema(seed), table.FormatCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, res.Job)
+	}
+
+	// The third submit pushed the map past MaxJobs=2; the oldest
+	// finished job (seed 41) must be gone.
+	if svc.Job(first.Job.ID()) != nil {
+		t.Errorf("oldest finished job still in the map after eviction")
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Jobs.Evicted < 1 {
+		t.Errorf("stats report %d evicted jobs, want >= 1", st.Jobs.Evicted)
+	}
+	if total := st.Jobs.Queued + st.Jobs.Running + st.Jobs.Done + st.Jobs.Failed; total > 2 {
+		t.Errorf("job map holds %d jobs, MaxJobs is 2", total)
+	}
+
+	// The evicted job's dataset persists in the disk cache: the same
+	// schema comes back as a hit without a new generation.
+	gens := svc.Generations()
+	again, err := svc.Submit(testSchema(41), table.FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Errorf("resubmit of evicted schema was not a cache hit")
+	}
+	if g := svc.Generations(); g != gens {
+		t.Errorf("resubmit of evicted schema regenerated (%d -> %d)", gens, g)
+	}
+}
+
+// TestJobRetention: finished jobs older than JobRetention are evicted
+// on the next submission even when the map is far below MaxJobs.
+func TestJobRetention(t *testing.T) {
+	svc := newTestService(t, Config{JobRetention: time.Nanosecond})
+	first, err := svc.Submit(testSchema(44), table.FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first.Job)
+	time.Sleep(10 * time.Millisecond) // age the finished job past retention
+	res, err := svc.Submit(testSchema(45), table.FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Job(first.Job.ID()) != nil {
+		t.Errorf("finished job outlived JobRetention")
+	}
+	if st := svc.Stats(); st.Jobs.Evicted < 1 {
+		t.Errorf("stats report %d evicted jobs, want >= 1", st.Jobs.Evicted)
+	}
+	waitDone(t, res.Job)
 }
 
 // TestJSONSubmitBody: the JSON submission shape works end to end.

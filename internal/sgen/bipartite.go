@@ -64,6 +64,22 @@ func (g *PowerLawOut) RunBipartite(nTail, nHead int64) (*table.EdgeTable, error)
 	return et, nil
 }
 
+// EstimatedEdges implements EdgeCountEstimator: m ≈ nTail·mean(d).
+func (g *PowerLawOut) EstimatedEdges(nTail int64) int64 {
+	dist, err := xrand.NewPowerLawInt(max(1, g.MinOut), g.MaxOut, g.Gamma)
+	if err != nil {
+		return 0
+	}
+	mean := dist.Mean()
+	if g.MinOut <= 0 {
+		mean--
+	}
+	if mean <= 0 || nTail < 1 {
+		return 0
+	}
+	return int64(float64(nTail) * mean)
+}
+
 // NumTailsForEdges implements BipartiteGenerator.
 func (g *PowerLawOut) NumTailsForEdges(numEdges int64) (int64, error) {
 	dist, err := xrand.NewPowerLawInt(max(1, g.MinOut), g.MaxOut, g.Gamma)
@@ -143,6 +159,16 @@ func (g *ZipfAttachment) RunBipartite(nTail, nHead int64) (*table.EdgeTable, err
 	return et, nil
 }
 
+// EstimatedEdges implements EdgeCountEstimator: m ≲ nTail·mean(d)
+// (an upper bound — duplicate attachments are dropped).
+func (g *ZipfAttachment) EstimatedEdges(nTail int64) int64 {
+	outDist, err := xrand.NewPowerLawInt(max(1, g.MinOut), g.MaxOut, g.GammaOut)
+	if err != nil || nTail < 1 {
+		return 0
+	}
+	return int64(float64(nTail) * outDist.Mean())
+}
+
 // NumTailsForEdges implements BipartiteGenerator.
 func (g *ZipfAttachment) NumTailsForEdges(numEdges int64) (int64, error) {
 	outDist, err := xrand.NewPowerLawInt(max(1, g.MinOut), g.MaxOut, g.GammaOut)
@@ -183,6 +209,14 @@ func (g *OneToOne) RunBipartite(nTail, nHead int64) (*table.EdgeTable, error) {
 	return et, nil
 }
 
+// EstimatedEdges implements EdgeCountEstimator: m = nTail exactly.
+func (g *OneToOne) EstimatedEdges(nTail int64) int64 {
+	if nTail < 1 {
+		return 0
+	}
+	return nTail
+}
+
 // NumTailsForEdges implements BipartiteGenerator: one edge per tail.
 func (g *OneToOne) NumTailsForEdges(numEdges int64) (int64, error) {
 	if numEdges <= 0 {
@@ -216,6 +250,14 @@ func (g *UniformBipartite) RunBipartite(nTail, nHead int64) (*table.EdgeTable, e
 		et.Add(s.Intn(2*e, nTail), s.Intn(2*e+1, nHead))
 	}
 	return et, nil
+}
+
+// EstimatedEdges implements EdgeCountEstimator: m = round(nTail·AvgOut).
+func (g *UniformBipartite) EstimatedEdges(nTail int64) int64 {
+	if g.AvgOut <= 0 || nTail < 1 {
+		return 0
+	}
+	return int64(math.Round(float64(nTail) * g.AvgOut))
 }
 
 // NumTailsForEdges implements BipartiteGenerator.

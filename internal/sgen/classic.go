@@ -67,6 +67,19 @@ func (g *ErdosRenyi) Run(n int64) (*table.EdgeTable, error) {
 	return et, nil
 }
 
+// EstimatedEdges implements EdgeCountEstimator: m = n·EdgesPerNode,
+// capped at the densest simple graph.
+func (g *ErdosRenyi) EstimatedEdges(n int64) int64 {
+	if n <= 1 || g.EdgesPerNode <= 0 {
+		return 0
+	}
+	m := int64(float64(n) * g.EdgesPerNode)
+	if maxM := n * (n - 1) / 2; m > maxM {
+		m = maxM
+	}
+	return m
+}
+
 // NumNodesForEdges implements Generator.
 func (g *ErdosRenyi) NumNodesForEdges(numEdges int64) (int64, error) {
 	if g.EdgesPerNode <= 0 {
@@ -134,6 +147,14 @@ func (g *BarabasiAlbert) Run(n int64) (*table.EdgeTable, error) {
 		}
 	}
 	return et, nil
+}
+
+// EstimatedEdges implements EdgeCountEstimator: m ≈ n·M.
+func (g *BarabasiAlbert) EstimatedEdges(n int64) int64 {
+	if n <= int64(g.M) || g.M < 1 {
+		return 0
+	}
+	return (n - int64(g.M)) * int64(g.M)
 }
 
 // NumNodesForEdges implements Generator: m ≈ n·M.
@@ -214,6 +235,14 @@ func (g *WattsStrogatz) Run(n int64) (*table.EdgeTable, error) {
 		}
 	}
 	return et, nil
+}
+
+// EstimatedEdges implements EdgeCountEstimator: m ≈ n·K.
+func (g *WattsStrogatz) EstimatedEdges(n int64) int64 {
+	if g.K < 1 || n < int64(2*g.K+1) {
+		return 0
+	}
+	return n * int64(g.K)
 }
 
 // NumNodesForEdges implements Generator: m ≈ n·K.

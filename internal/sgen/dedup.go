@@ -139,29 +139,112 @@ func (d *edgeDedup) pairRound(et *table.EdgeTable, pending []int64, ok func(a, b
 		w += 2
 	}
 
-	// Merge the round's winners (already sorted: they were collected in
-	// key order) into the accepted set.
-	if len(d.newKeys) > 0 {
-		need := len(d.accepted) + len(d.newKeys)
-		if cap(d.merged) < need {
-			d.merged = make([]uint64, 0, need+need/2)
-		}
-		m := d.merged[:0]
-		i, j := 0, 0
-		for i < len(d.accepted) && j < len(d.newKeys) {
-			if d.accepted[i] < d.newKeys[j] {
-				m = append(m, d.accepted[i])
-				i++
-			} else {
-				m = append(m, d.newKeys[j])
-				j++
-			}
-		}
-		m = append(m, d.accepted[i:]...)
-		m = append(m, d.newKeys[j:]...)
-		d.accepted, d.merged = m, d.accepted
-	}
+	d.mergeNewKeys()
 	return pending[:w]
+}
+
+// mergeNewKeys merges the round's winner keys (already sorted: they
+// were collected in key order) into the accepted set — in place,
+// backward into the spare capacity, when it fits; via the scratch
+// buffer otherwise.
+func (d *edgeDedup) mergeNewKeys() {
+	if len(d.newKeys) == 0 {
+		return
+	}
+	na, nn := len(d.accepted), len(d.newKeys)
+	need := na + nn
+	if cap(d.accepted) >= need {
+		d.accepted = d.accepted[:need]
+		i, w := na-1, need-1
+		for j := nn - 1; j >= 0; {
+			if i >= 0 && d.accepted[i] > d.newKeys[j] {
+				d.accepted[w] = d.accepted[i]
+				i--
+			} else {
+				d.accepted[w] = d.newKeys[j]
+				j--
+			}
+			w--
+		}
+		return
+	}
+	if cap(d.merged) < need {
+		d.merged = make([]uint64, 0, need+need/2)
+	}
+	m := d.merged[:0]
+	i, j := 0, 0
+	for i < len(d.accepted) && j < len(d.newKeys) {
+		if d.accepted[i] < d.newKeys[j] {
+			m = append(m, d.accepted[i])
+			i++
+		} else {
+			m = append(m, d.newKeys[j])
+			j++
+		}
+	}
+	m = append(m, d.accepted[i:]...)
+	m = append(m, d.newKeys[j:]...)
+	d.accepted, d.merged = m, d.accepted
+}
+
+// sortKeys sorts a bare key slice with the same adaptive LSD radix as
+// sortByKey, minus the index payload — the fast path for rounds whose
+// consumers don't need stream positions (sharded RMAT emits winners in
+// key order). Returns whichever of keys / the scratch buffer holds the
+// result.
+func (d *edgeDedup) sortKeys(keys []uint64) []uint64 {
+	n := len(keys)
+	if n < 2 {
+		return keys
+	}
+	if cap(d.tmpK) < n {
+		d.tmpK = make([]uint64, n)
+	}
+	if d.count == nil {
+		d.count = make([]int32, 1<<16)
+	}
+	var digitBits uint = 8
+	if n >= 1<<12 {
+		digitBits = 16
+	}
+	radix := uint64(1)<<digitBits - 1
+	// orAll/andAll spot digit positions where every key agrees — e.g.
+	// packed (min<<32|max) keys at scale ≤ 16 have 16 constant-zero
+	// middle bits, a whole pass of nothing.
+	var maxKey uint64
+	orAll, andAll := uint64(0), ^uint64(0)
+	for _, k := range keys {
+		orAll |= k
+		andAll &= k
+	}
+	maxKey = orAll
+	src, dst := keys, d.tmpK[:n]
+	for shift := uint(0); ; shift += digitBits {
+		if (orAll>>shift)&radix != (andAll>>shift)&radix {
+			count := d.count[:radix+1]
+			clear(count)
+			for _, k := range src {
+				count[(k>>shift)&radix]++
+			}
+			var sum int32
+			for i := range count {
+				c := count[i]
+				count[i] = sum
+				sum += c
+			}
+			for _, k := range src {
+				digit := (k >> shift) & radix
+				p := count[digit]
+				count[digit] = p + 1
+				dst[p] = k
+			}
+			src, dst = dst, src
+		}
+		if shift+digitBits >= 64 || maxKey>>(shift+digitBits) == 0 {
+			break
+		}
+	}
+	return src
 }
 
 // sortByKey stable-sorts (keys, idx) by key with an LSD radix sort,

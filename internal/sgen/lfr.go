@@ -460,6 +460,14 @@ func pairStubsFiltered(q *seq, dd *edgeDedup, et *table.EdgeTable, stubs []int64
 	}
 }
 
+// EstimatedEdges implements EdgeCountEstimator: m ≈ n·avgDegree/2.
+func (l *LFR) EstimatedEdges(n int64) int64 {
+	if n <= 0 || l.AvgDegree <= 1 {
+		return 0
+	}
+	return int64(float64(n) * l.AvgDegree / 2)
+}
+
 // NumNodesForEdges implements Generator: m ≈ n·avgDegree/2.
 func (l *LFR) NumNodesForEdges(numEdges int64) (int64, error) {
 	if numEdges <= 0 {

@@ -104,6 +104,18 @@ func sgParamFloat(p map[string]string, key string, def float64) (float64, error)
 	return f, nil
 }
 
+func sgParamBool(p map[string]string, key string, def bool) (bool, error) {
+	v, ok := p[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("sgen: parameter %s=%q is not a boolean", key, v)
+	}
+	return b, nil
+}
+
 func sgParamInt(p map[string]string, key string, def int64) (int64, error) {
 	v, ok := p[key]
 	if !ok || v == "" {
@@ -138,6 +150,12 @@ func registerBuiltinSGs(r *Registry) {
 			return nil, err
 		}
 		if g.EdgeFactor, err = sgParamInt(p, "edgeFactor", g.EdgeFactor); err != nil {
+			return nil, err
+		}
+		if g.Noise, err = sgParamFloat(p, "noise", g.Noise); err != nil {
+			return nil, err
+		}
+		if g.KeepDuplicates, err = sgParamBool(p, "keepDuplicates", g.KeepDuplicates); err != nil {
 			return nil, err
 		}
 		return g, nil

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"datasynth/internal/table"
-	"datasynth/internal/xrand"
 )
 
 // RMAT is the recursive-matrix generator of Chakrabarti, Zhan and
@@ -17,6 +16,12 @@ import (
 // Defaults follow Graph500: (A,B,C,D) = (0.57, 0.19, 0.19, 0.05) and
 // edgefactor 16, so a scale-s graph has n = 2^s nodes and m = 16·n
 // edges before deduplication.
+//
+// Generation is sharded (see rmat_shard.go): edge draws are produced
+// in rounds of fixed-size shards, each shard on its own derived RNG
+// stream, and duplicates are rejected by a batched radix
+// sort-and-compact pass. The edge table is a pure function of the seed
+// and the parameters — byte-identical at every worker count.
 type RMAT struct {
 	A, B, C, D float64
 	EdgeFactor int64
@@ -28,6 +33,14 @@ type RMAT struct {
 	// Graph500 keeps them; the paper's matching experiments are
 	// insensitive to them. Default false removes exact duplicates.
 	KeepDuplicates bool
+	// Workers bounds the concurrency of shard filling (0 = NumCPU,
+	// 1 = serial). Shards draw from independent RNG streams keyed off
+	// (Seed, round, shard) and fill disjoint slab ranges, so the edge
+	// table is byte-identical at every worker count.
+	Workers int
+
+	// stats of the last Run, for RunNote.
+	lastStats rmatStats
 }
 
 // NewRMAT returns an RMAT generator with Graph500 default parameters.
@@ -37,6 +50,9 @@ func NewRMAT(seed uint64) *RMAT {
 
 // Name implements Generator.
 func (r *RMAT) Name() string { return "rmat" }
+
+// SetWorkers implements WorkerSettable.
+func (r *RMAT) SetWorkers(w int) { r.Workers = w }
 
 // validate checks the quadrant probabilities.
 func (r *RMAT) validate() error {
@@ -65,8 +81,9 @@ func scaleFor(n int64) uint {
 }
 
 // Run implements Generator. n is rounded up to the next power of two
-// internally (ids stay < n; edges landing outside [0,n) are re-drawn by
-// cycle walking), so callers may pass any positive n.
+// internally (ids stay < n; candidate edges landing outside [0,n) are
+// rejected and redrawn in the next refill round), so callers may pass
+// any positive n.
 func (r *RMAT) Run(n int64) (*table.EdgeTable, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sgen: RMAT needs n > 0, got %d", n)
@@ -74,71 +91,20 @@ func (r *RMAT) Run(n int64) (*table.EdgeTable, error) {
 	if err := r.validate(); err != nil {
 		return nil, err
 	}
-	scale := scaleFor(n)
-	m := r.EdgeFactor * n
-	et := table.NewEdgeTable("rmat", m)
-	s := xrand.NewStream(r.Seed)
-	var seen map[uint64]struct{}
-	if !r.KeepDuplicates {
-		seen = make(map[uint64]struct{}, m)
+	if scaleFor(n) > 31 {
+		// Dedup keys pack two ids into one uint64 (32 bits each).
+		return nil, fmt.Errorf("sgen: RMAT supports n up to 2^31, got %d", n)
 	}
-	var idx int64
-	for et.Len() < m {
-		t, h := r.drawEdge(s, idx, scale)
-		idx++
-		if idx > 100*m && et.Len() == 0 {
-			return nil, fmt.Errorf("sgen: RMAT failed to generate edges")
-		}
-		if t >= n || h >= n {
-			continue // cycle-walk for non-power-of-two n
-		}
-		if !r.KeepDuplicates {
-			if t == h {
-				continue
-			}
-			a, b := t, h
-			if a > b {
-				a, b = b, a
-			}
-			key := uint64(a)<<32 | uint64(b)
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			seen[key] = struct{}{}
-		}
-		et.Add(t, h)
-	}
-	return et, nil
+	return r.runSharded(n)
 }
 
-// drawEdge recursively selects the quadrant for draw idx.
-func (r *RMAT) drawEdge(s xrand.Stream, idx int64, scale uint) (int64, int64) {
-	var t, h int64
-	a, b, c := r.A, r.B, r.C
-	for level := uint(0); level < scale; level++ {
-		// One uniform per level, decorrelated by level.
-		u := s.Float64(idx*int64(scale) + int64(level))
-		al, bl, cl := a, b, c
-		if r.Noise > 0 {
-			// Symmetric noise keeps expectation fixed.
-			nz := (s.Float64(idx*int64(scale)+int64(level)+1<<40) - 0.5) * 2 * r.Noise
-			al = a + a*nz
-			bl = b - b*nz/2
-			cl = c - c*nz/2
-		}
-		switch {
-		case u < al:
-			// quadrant (0,0): nothing to add
-		case u < al+bl:
-			h |= 1 << (scale - 1 - level)
-		case u < al+bl+cl:
-			t |= 1 << (scale - 1 - level)
-		default:
-			t |= 1 << (scale - 1 - level)
-			h |= 1 << (scale - 1 - level)
-		}
+// EstimatedEdges implements EdgeCountEstimator: m = EdgeFactor·n
+// exactly (Run loops until the target count is reached).
+func (r *RMAT) EstimatedEdges(n int64) int64 {
+	if n <= 0 || r.EdgeFactor <= 0 {
+		return 0
 	}
-	return t, h
+	return r.EdgeFactor * n
 }
 
 // NumNodesForEdges implements Generator: n = numEdges / edgefactor,

@@ -1,0 +1,385 @@
+package sgen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"runtime"
+	"sort"
+	"testing"
+
+	"datasynth/internal/table"
+	"datasynth/internal/xrand"
+)
+
+// rmatConfigs are the generator shapes whose worker-count invariance
+// the sharding contract promises: the alias fast path, the per-level
+// Noise path, the KeepDuplicates path and the cycle-walking
+// non-power-of-two path.
+func rmatConfigs() map[string]func() *RMAT {
+	return map[string]func() *RMAT{
+		"default": func() *RMAT { return NewRMAT(21) },
+		"noise": func() *RMAT {
+			g := NewRMAT(22)
+			g.Noise = 0.1
+			return g
+		},
+		"keepDuplicates": func() *RMAT {
+			g := NewRMAT(23)
+			g.KeepDuplicates = true
+			return g
+		},
+		"noisyKeepDuplicates": func() *RMAT {
+			g := NewRMAT(24)
+			g.Noise = 0.05
+			g.KeepDuplicates = true
+			return g
+		},
+	}
+}
+
+// TestRMATWorkerCountByteIdentical: the sharded generator must produce
+// the same edge table no matter how many workers fill the slab —
+// per-(round, shard) RNG streams over disjoint slab ranges plus a
+// deterministic round budget make the output a pure function of the
+// seed and parameters.
+func TestRMATWorkerCountByteIdentical(t *testing.T) {
+	for name, mk := range rmatConfigs() {
+		for _, n := range []int64{1 << 12, 3000} {
+			run := func(workers int) *table.EdgeTable {
+				g := mk()
+				g.Workers = workers
+				et, err := g.Run(n)
+				if err != nil {
+					t.Fatalf("%s n=%d workers=%d: %v", name, n, workers, err)
+				}
+				return et
+			}
+			ref := run(1)
+			if ref.Len() == 0 {
+				t.Fatalf("%s n=%d: no edges", name, n)
+			}
+			for _, w := range []int{2, 3, runtime.NumCPU()} {
+				got := run(w)
+				if got.Len() != ref.Len() {
+					t.Fatalf("%s n=%d workers=%d: %d edges, serial %d", name, n, w, got.Len(), ref.Len())
+				}
+				for i := range ref.Tail {
+					if ref.Tail[i] != got.Tail[i] || ref.Head[i] != got.Head[i] {
+						t.Fatalf("%s n=%d workers=%d: edge %d is (%d,%d), serial (%d,%d)",
+							name, n, w, i, got.Tail[i], got.Head[i], ref.Tail[i], ref.Head[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func edgeTableSHA256(et *table.EdgeTable) string {
+	h := sha256.New()
+	var buf [16]byte
+	for i := range et.Tail {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(et.Tail[i]))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(et.Head[i]))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestRMATGoldenHash pins the exact edge table of a fixed
+// configuration. A change here means the generator's output changed
+// for existing seeds — an intentional break of the per-seed
+// reproducibility contract that must be called out in release notes
+// (as the sharded rewrite itself was).
+func TestRMATGoldenHash(t *testing.T) {
+	const want = "204a64c5f795d880a44a524b64524ddc664762552019e9a9bfd24d941af77b24"
+	for _, w := range []int{1, runtime.NumCPU()} {
+		g := NewRMAT(7)
+		g.Workers = w
+		et, err := g.Run(1 << 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := edgeTableSHA256(et); got != want {
+			t.Fatalf("workers=%d: edge table hash %s, want %s", w, got, want)
+		}
+	}
+}
+
+// TestRMATQuadrantSkewShardedAndReference: the A quadrant
+// (low-id half on both endpoints) must dominate the D quadrant on
+// every draw path — the alias fast path and the per-level reference
+// path (forced via Noise, which is the per-level branch).
+func TestRMATQuadrantSkewShardedAndReference(t *testing.T) {
+	check := func(name string, g *RMAT) {
+		n := int64(1 << 12)
+		et, err := g.Run(n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		half := n / 2
+		var aa, dd int64
+		for i := range et.Tail {
+			lowT, lowH := et.Tail[i] < half, et.Head[i] < half
+			switch {
+			case lowT && lowH:
+				aa++
+			case !lowT && !lowH:
+				dd++
+			}
+		}
+		if aa < 4*dd {
+			t.Fatalf("%s: A corner %d not dominant over D corner %d", name, aa, dd)
+		}
+	}
+	check("alias", NewRMAT(31))
+	noisy := NewRMAT(31)
+	noisy.Noise = 0.05
+	check("per-level", noisy)
+	parallel := NewRMAT(31)
+	parallel.Workers = 4
+	check("alias-4workers", parallel)
+}
+
+// TestRMATEdgeFactorAndSimpleGraph: every configuration must hit the
+// exact edge target, and the default (dedup) configurations must emit
+// a simple graph — no self-loops, no repeated undirected pairs.
+func TestRMATEdgeFactorAndSimpleGraph(t *testing.T) {
+	for name, mk := range rmatConfigs() {
+		for _, n := range []int64{1 << 12, 3000} {
+			g := mk()
+			et, err := g.Run(n)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			if et.Len() != g.EdgeFactor*n {
+				t.Fatalf("%s n=%d: %d edges, want %d", name, n, et.Len(), g.EdgeFactor*n)
+			}
+			for i := range et.Tail {
+				if et.Tail[i] < 0 || et.Tail[i] >= n || et.Head[i] < 0 || et.Head[i] >= n {
+					t.Fatalf("%s n=%d: edge %d endpoint out of range: (%d,%d)", name, n, i, et.Tail[i], et.Head[i])
+				}
+			}
+			if g.KeepDuplicates {
+				continue
+			}
+			seen := make(map[uint64]struct{}, et.Len())
+			for i := range et.Tail {
+				if et.Tail[i] == et.Head[i] {
+					t.Fatalf("%s n=%d: self-loop at %d", name, n, et.Tail[i])
+				}
+				key := packEdgeKey(et.Tail[i], et.Head[i])
+				if _, dup := seen[key]; dup {
+					t.Fatalf("%s n=%d: duplicate edge (%d,%d)", name, n, et.Tail[i], et.Head[i])
+				}
+				seen[key] = struct{}{}
+			}
+		}
+	}
+}
+
+// TestRMATAliasOutcomeDistribution validates the alias sampler against
+// the closed-form outcome probabilities: a remainder-only table
+// (scale 2: 16 outcomes) sampled heavily must reproduce each
+// outcome's product probability, and on a block-path table (scale 8)
+// every level's tail/head-bit marginal must match C+D and B+D.
+func TestRMATAliasOutcomeDistribution(t *testing.T) {
+	a, b, c, d := 0.57, 0.19, 0.19, 0.05
+	p := [4]float64{a, b, c, d}
+
+	// Remainder path, exact per-outcome check.
+	{
+		al := newRMATAlias(a, b, c, d, 2)
+		const draws = 1 << 19
+		tails := make([]int64, draws)
+		heads := make([]int64, draws)
+		q := xrand.NewSeq(99)
+		drawShardAlias(q, tails, heads, al)
+		counts := make([]int64, 16)
+		for i := range tails {
+			counts[tails[i]*4+heads[i]]++
+		}
+		for th := 0; th < 16; th++ {
+			tt, hh := th/4, th%4
+			want := 1.0
+			for lvl := 1; lvl >= 0; lvl-- {
+				qd := (tt>>lvl&1)<<1 | hh>>lvl&1
+				want *= p[qd]
+			}
+			got := float64(counts[th]) / draws
+			if diff := got - want; diff > 0.01 || diff < -0.01 {
+				t.Fatalf("outcome (%d,%d): frequency %.4f, want %.4f", tt, hh, got, want)
+			}
+		}
+	}
+
+	// Block path, per-level marginals.
+	{
+		al := newRMATAlias(a, b, c, d, 8)
+		const draws = 1 << 19
+		tails := make([]int64, draws)
+		heads := make([]int64, draws)
+		q := xrand.NewSeq(100)
+		drawShardAlias(q, tails, heads, al)
+		for lvl := 0; lvl < 8; lvl++ {
+			var tSet, hSet int64
+			for i := range tails {
+				tSet += tails[i] >> lvl & 1
+				hSet += heads[i] >> lvl & 1
+			}
+			tGot, hGot := float64(tSet)/draws, float64(hSet)/draws
+			if diff := tGot - (c + d); diff > 0.01 || diff < -0.01 {
+				t.Fatalf("level %d: tail-bit marginal %.4f, want %.4f", lvl, tGot, c+d)
+			}
+			if diff := hGot - (b + d); diff > 0.01 || diff < -0.01 {
+				t.Fatalf("level %d: head-bit marginal %.4f, want %.4f", lvl, hGot, b+d)
+			}
+		}
+	}
+}
+
+// TestRMATRunNote: sharding telemetry must reach the engine's timing
+// report via the Noter interface.
+func TestRMATRunNote(t *testing.T) {
+	g := NewRMAT(12)
+	g.Workers = 2
+	if _, err := g.Run(1 << 10); err != nil {
+		t.Fatal(err)
+	}
+	var _ Noter = g
+	note := g.RunNote()
+	if note == "" {
+		t.Fatal("empty RunNote after Run")
+	}
+	t.Logf("note: %s", note)
+}
+
+// naiveDedupRound is the reference semantics of one
+// appendDeduped/appendDedupedPacked round: filter self-loops and
+// out-of-range endpoints, drop keys duplicated within the round or
+// accepted by any earlier round, emit winners in sorted key order up
+// to limit, and remember every winner (even limit-dropped ones).
+func naiveDedupRound(accepted map[uint64]struct{}, et *table.EdgeTable, tails, heads []int64, n, limit int64) {
+	inRound := map[uint64]struct{}{}
+	var fresh []uint64
+	for i := range tails {
+		t, h := tails[i], heads[i]
+		if t == h || t >= n || h >= n {
+			continue
+		}
+		key := packEdgeKey(t, h)
+		if _, dup := accepted[key]; dup {
+			continue
+		}
+		if _, dup := inRound[key]; dup {
+			continue
+		}
+		inRound[key] = struct{}{}
+		fresh = append(fresh, key)
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	for _, key := range fresh {
+		if limit > 0 {
+			et.Add(int64(key>>32), int64(key&0xffffffff))
+			limit--
+		}
+		accepted[key] = struct{}{}
+	}
+}
+
+// checkRMATDedupAgainstReference drives both dedup front-ends (the
+// unpacked Noise-path one and the packed fast-path one) through
+// multiple rounds over fuzz-derived candidates and compares each
+// against the map reference. span bounds the id universe — small spans
+// maximise duplicate and self-loop pressure; n < span forces
+// out-of-range rejections.
+func checkRMATDedupAgainstReference(t *testing.T, data []byte, span uint8, n int64, limits []int64) {
+	if span < 2 {
+		span = 2
+	}
+	if n < 2 {
+		n = 2
+	}
+	if len(data)%2 == 1 {
+		data = data[:len(data)-1]
+	}
+	nCand := len(data) / 2
+	tails := make([]int64, nCand)
+	heads := make([]int64, nCand)
+	for i := 0; i < nCand; i++ {
+		tails[i] = int64(data[2*i]) % int64(span)
+		heads[i] = int64(data[2*i+1]) % int64(span)
+	}
+
+	for _, packed := range []bool{false, true} {
+		dd := newEdgeDedup(0)
+		fast := table.NewEdgeTable("fast", 0)
+		naive := table.NewEdgeTable("naive", 0)
+		accepted := map[uint64]struct{}{}
+		// Rounds split the candidates in half so the accepted set and
+		// both merge paths (in-place and reallocating) see action.
+		half := nCand / 2
+		bounds := [][2]int{{0, half}, {half, nCand}}
+		for r, lim := range limits {
+			lo, hi := bounds[r%2][0], bounds[r%2][1]
+			if packed {
+				slab := make([]uint64, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					a, b := tails[i], heads[i]
+					if a > b {
+						a, b = b, a
+					}
+					slab = append(slab, uint64(a)<<32|uint64(b))
+				}
+				dd.appendDedupedPacked(fast, slab, n, lim)
+			} else {
+				dd.appendDeduped(fast, tails[lo:hi], heads[lo:hi], n, lim)
+			}
+			naiveDedupRound(accepted, naive, tails[lo:hi], heads[lo:hi], n, lim)
+		}
+		kind := "unpacked"
+		if packed {
+			kind = "packed"
+		}
+		assertSameEdges(t, kind, naive, fast)
+	}
+}
+
+// FuzzRMATDedup go-fuzzes the sharded-RMAT dedup rounds against the
+// map reference.
+func FuzzRMATDedup(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 1, 0}, uint8(4), int64(4), int64(100), int64(100))
+	f.Add([]byte{1, 1, 1, 1, 9, 9}, uint8(8), int64(5), int64(1), int64(0))
+	f.Add([]byte{}, uint8(2), int64(2), int64(3), int64(3))
+	f.Fuzz(func(t *testing.T, data []byte, span uint8, n, lim1, lim2 int64) {
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		if n < 0 || n > 1<<31 {
+			n = 16
+		}
+		if lim1 < 0 {
+			lim1 = -lim1
+		}
+		if lim2 < 0 {
+			lim2 = -lim2
+		}
+		checkRMATDedupAgainstReference(t, data, span, n, []int64{lim1, lim2, 1 << 30})
+	})
+}
+
+// TestRMATDedupAgainstReference runs the fuzz body over deterministic
+// batches on every ordinary `go test`.
+func TestRMATDedupAgainstReference(t *testing.T) {
+	q := newSeq(17)
+	for trial := 0; trial < 60; trial++ {
+		data := make([]byte, int(q.Intn(500)))
+		for i := range data {
+			data[i] = byte(q.Intn(256))
+		}
+		span := uint8(2 + q.Intn(30))
+		n := 2 + q.Intn(40)
+		limits := []int64{q.Intn(200), q.Intn(4), 1 << 30}
+		checkRMATDedupAgainstReference(t, data, span, n, limits)
+	}
+}

@@ -14,6 +14,22 @@
 // Barabási–Albert and Watts–Strogatz as commonly needed baselines, and
 // bipartite generators for 1→* and *→* edge types between different
 // node types.
+//
+// # Determinism and sharding
+//
+// Every generator is a pure function of its seed and parameters. The
+// two hot generators, LFR and RMAT, additionally shard their work
+// across workers without breaking that contract: work is split into
+// units whose content is a pure function of (seed, unit index) — LFR
+// derives one RNG stream per community, RMAT one per (round, shard)
+// via NewStream(seed).DeriveStream("rmat.shard").DeriveN(r<<20|s) —
+// and units fill disjoint output ranges that a sequential pass then
+// resolves in a fixed order (RMAT's radix sort-and-compact dedup runs
+// there). Worker count only decides who computes a unit, never what it
+// contains, so the edge table is byte-identical at every Workers
+// setting; golden-hash tests pin the exact bytes. Changing a
+// generator's drawing scheme changes the bytes for a given seed and
+// must bump core.SchemaVersion.
 package sgen
 
 import (
@@ -44,6 +60,26 @@ type Generator interface {
 // this interface.
 type WorkerSettable interface {
 	SetWorkers(workers int)
+}
+
+// Noter is implemented by generators that report a one-line telemetry
+// note about their most recent Run; the engine attaches it to the
+// structure task's row in the timing report (as match tasks do with
+// their SBM-Part per-pass breakdown).
+type Noter interface {
+	RunNote() string
+}
+
+// EdgeCountEstimator is implemented by generators whose edge count is
+// a cheap closed form of the node count. The generation service uses
+// it to derive admission size bounds for schemas whose edge counts are
+// inferred (Count = 0) — rejecting oversized jobs at submit instead of
+// after generation. Estimates are approximate (a few percent off is
+// fine); the post-generation check stays authoritative.
+type EdgeCountEstimator interface {
+	// EstimatedEdges returns the approximate number of edges Run(n)
+	// produces, or 0 when no estimate is possible.
+	EstimatedEdges(n int64) int64
 }
 
 // BipartiteGenerator produces structure between two distinct node

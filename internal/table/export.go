@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -192,6 +193,19 @@ func exportTempName(file string) string { return "." + file + ".tmp" }
 // partial files behind. Returns one FileStat per file in deterministic
 // (sorted nodes, then sorted edges) order.
 func (d *Dataset) Export(dir string, opt ExportOptions) ([]FileStat, error) {
+	return d.ExportCtx(context.Background(), dir, opt)
+}
+
+// ExportCtx is Export with cooperative cancellation: ctx is checked
+// before the directory is touched, before each file job starts, and
+// before the commit phase — a canceled or expired context aborts with
+// every temp file removed and (if ExportCtx created it) the directory
+// gone, exactly like any other export failure. The all-or-nothing
+// guarantee is unchanged: cancellation never commits a partial set.
+func (d *Dataset) ExportCtx(ctx context.Context, dir string, opt ExportOptions) ([]FileStat, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	jobs := d.exportJobs(opt.Format)
 	if len(jobs) == 0 {
 		return nil, os.MkdirAll(dir, 0o755)
@@ -208,7 +222,7 @@ func (d *Dataset) Export(dir string, opt ExportOptions) ([]FileStat, error) {
 	}
 
 	stats := make([]FileStat, len(jobs))
-	err := par.ForEach(len(jobs), opt.Workers, func(i int) error {
+	err := par.ForEachCtx(ctx, len(jobs), opt.Workers, func(i int) error {
 		j := jobs[i]
 		start := time.Now()
 		tmp := filepath.Join(dir, exportTempName(j.file))
@@ -230,6 +244,12 @@ func (d *Dataset) Export(dir string, opt ExportOptions) ([]FileStat, error) {
 		stats[i] = FileStat{Name: j.file, Bytes: fi.Size(), Duration: time.Since(start)}
 		return nil
 	})
+	if err == nil {
+		// A deadline that expired after the last file finished but before
+		// the commit must still abort: committing past the deadline would
+		// make the cancellation guarantee depend on scheduling luck.
+		err = ctx.Err()
+	}
 	if err != nil {
 		for _, j := range jobs {
 			os.Remove(filepath.Join(dir, exportTempName(j.file)))

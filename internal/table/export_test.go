@@ -2,14 +2,17 @@ package table
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/csv"
 	"encoding/hex"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"slices"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -48,6 +51,70 @@ func TestExportAtomicityPartialWrite(t *testing.T) {
 			}
 			for _, ent := range entries {
 				t.Errorf("%v workers=%d: partial export left %s behind", format, workers, ent.Name())
+			}
+		}
+	}
+}
+
+// TestExportCtxPreCanceled: a canceled context aborts the export before
+// the directory is touched — no directory, no temps, no files.
+func TestExportCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := roundTripDataset()
+	dir := filepath.Join(t.TempDir(), "out")
+	if _, err := d.ExportCtx(ctx, dir, ExportOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExportCtx with canceled context = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("canceled export still created %s (stat err %v)", dir, err)
+	}
+}
+
+// cancelAfterCtx reports context.Canceled from Err() once the first
+// `left` checks have passed — a deterministic stand-in for a deadline
+// that expires at an exact point of the export's check sequence.
+type cancelAfterCtx struct {
+	context.Context
+	mu   sync.Mutex
+	left int
+}
+
+func (c *cancelAfterCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left > 0 {
+		c.left--
+		return nil
+	}
+	return context.Canceled
+}
+
+// TestExportCtxCancelMidRun: cancellation while file jobs are running —
+// or after the last file but before the commit — rolls the staged
+// export back like any other failure: no directory, no temps, and
+// crucially no committed subset of files.
+func TestExportCtxCancelMidRun(t *testing.T) {
+	k := len(roundTripDataset().exportJobs(FormatCSV))
+	if k < 2 {
+		t.Fatalf("fixture exports %d files, need at least 2", k)
+	}
+	// The serial check sequence is: 1 entry check, k per-job checks, 1
+	// commit barrier. left=2 cancels between job 0 and job 1 (job 0's
+	// temp already on disk); left=1+k cancels at the commit barrier with
+	// every temp written.
+	for _, left := range []int{2, 1 + k} {
+		ctx := &cancelAfterCtx{Context: context.Background(), left: left}
+		d := roundTripDataset()
+		dir := filepath.Join(t.TempDir(), "out")
+		_, err := d.ExportCtx(ctx, dir, ExportOptions{Workers: 1})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("left=%d: err = %v, want context.Canceled", left, err)
+		}
+		if _, serr := os.Stat(dir); !os.IsNotExist(serr) {
+			entries, _ := os.ReadDir(dir)
+			for _, ent := range entries {
+				t.Errorf("left=%d: canceled export left %s", left, ent.Name())
 			}
 		}
 	}
