@@ -1,23 +1,26 @@
 #!/usr/bin/env bash
 # bench.sh — record the Figure 3 benchmark panels, the export
 # throughput benchmarks (CSV serial vs concurrent vs JSONL vs columnar
-# on the Figure3_LFR100k dataset), and the datasynthd service path
-# (cold submit vs warm cache hit vs singleflight storm) with
-# -benchmem, and write a machine-readable snapshot (BENCH_pr<N>.json)
-# so the perf trajectory is tracked PR over PR.
+# on the Figure3_LFR100k dataset), the datasynthd service path (cold
+# submit vs warm cache hit — with and without eviction pressure — vs
+# singleflight storm), and the bipartite matcher (serial vs windowed)
+# with -benchmem, and write a machine-readable snapshot
+# (BENCH_pr<N>.json) so the perf trajectory is tracked PR over PR.
 #
-# Usage: ./bench.sh [pr-number] [bench-regex] [service-bench-regex]
+# Usage: ./bench.sh [pr-number] [bench-regex] [service-bench-regex] [match-bench-regex]
 set -euo pipefail
 
-PR="${1:-6}"
+PR="${1:-7}"
 PATTERN="${2:-Figure3|Export}"
 SERVICE_PATTERN="${3:-Service}"
+MATCH_PATTERN="${4:-MatchBipartite}"
 OUT="BENCH_pr${PR}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -count 1 . | tee "$RAW"
 go test -run '^$' -bench "$SERVICE_PATTERN" -benchmem -count 1 ./internal/service | tee -a "$RAW"
+go test -run '^$' -bench "$MATCH_PATTERN" -benchmem -count 1 ./internal/match | tee -a "$RAW"
 
 # Parse `go test -bench` output lines into JSON records. A line looks
 # like:

@@ -19,6 +19,12 @@
 // guarantees byte-identical output for a fixed schema at any worker
 // count; see docs/service.md.
 //
+// -cachemaxbytes bounds the cache with LRU eviction (entries under an
+// open download stream are removed only after the last reader closes;
+// an evicted schema regenerates byte-identically on resubmit), and
+// GET /v1/metrics exposes Prometheus text-format counters, gauges, and
+// per-phase latency histograms.
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // running jobs finish (up to -draintimeout), then the process exits.
 package main
@@ -40,6 +46,7 @@ import (
 func main() {
 	listen := flag.String("listen", ":8080", "address to serve HTTP on")
 	cacheDir := flag.String("cache", "datasynthd-cache", "content-addressable dataset cache directory")
+	cacheMaxBytes := flag.Int64("cachemaxbytes", 0, "cache size bound in bytes; storing past it evicts least recently used entries, streamed entries only after their last reader closes (0 = unbounded)")
 	queueDepth := flag.Int("queue", 64, "job queue bound; a full queue rejects submissions with 503")
 	jobWorkers := flag.Int("jobworkers", 2, "concurrent generation jobs")
 	engineWorkers := flag.Int("workers", 0, "per-engine worker bound (0 = NumCPU); output is byte-identical at any count")
@@ -54,6 +61,7 @@ func main() {
 
 	cfg := service.Config{
 		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMaxBytes,
 		QueueDepth:    *queueDepth,
 		JobWorkers:    *jobWorkers,
 		EngineWorkers: *engineWorkers,

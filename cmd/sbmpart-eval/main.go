@@ -31,6 +31,7 @@ func main() {
 	tableNo := flag.Int("table", 0, "regenerate table 1 (capability matrix)")
 	timing := flag.Bool("timing", false, "run the SBM-Part timing experiment")
 	musweep := flag.Bool("musweep", false, "run the structure-sensitivity sweep (fidelity vs LFR mixing)")
+	bipartite := flag.Bool("bipartite", false, "run the bipartite SBM-Part fidelity panels")
 	passes := flag.Int("passes", 0, "re-streaming refinement passes for figure panels")
 	window := flag.Int("window", 0, "SBM-Part stream window (0 = auto, negative = serial); output is byte-identical at any setting")
 	refineWindow := flag.Int("refinewindow", 0, "stream window of the re-streaming refinement passes (0 = inherit -window, negative = serial); output is byte-identical at any setting")
@@ -68,6 +69,12 @@ func main() {
 	if *all || *musweep {
 		ran = true
 		if err := runMuSweep(*out, *panelWorkers); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *bipartite {
+		ran = true
+		if err := runBipartite(*out, *window, *workers); err != nil {
 			fatal(err)
 		}
 	}
@@ -119,6 +126,38 @@ func runMuSweep(out string, workers int) error {
 	}
 	defer f.Close()
 	return exp.WriteMuSweep(f, pts)
+}
+
+// runBipartite measures the bipartite SBM-Part variation at a few
+// sizes; -window and -workers flow through (output is byte-identical
+// at every setting, only match_ms moves).
+func runBipartite(out string, window, workers int) error {
+	fmt.Println("== Bipartite SBM-Part: fidelity of the two-domain matching ==")
+	panels := []exp.Panel{
+		{Size: 10000, K: 8, Seed: 51, Window: window, Workers: workers},
+		{Size: 20000, K: 16, Seed: 52, Window: window, Workers: workers},
+		{Size: 40000, K: 16, Seed: 53, Window: window, Workers: workers},
+	}
+	rs := make([]*exp.BipartiteResult, 0, len(panels))
+	for _, p := range panels {
+		r, err := exp.RunBipartitePanel(p)
+		if err != nil {
+			return err
+		}
+		rs = append(rs, r)
+	}
+	if err := exp.WriteBipartite(os.Stdout, rs); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(out, "bipartite.tsv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return exp.WriteBipartite(f, rs)
 }
 
 func fatal(err error) {

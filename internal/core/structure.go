@@ -498,7 +498,13 @@ func (e *Engine) matchBipartiteEdge(st *runState, edge *schema.EdgeType, et *tab
 	if err != nil {
 		return err
 	}
-	res, err := match.MatchBipartite(et, nTail, nHead, tailLabels, headLabels, target, match.DefaultOptions(seed))
+	opt := match.DefaultOptions(seed)
+	// Same windowed-parallel knobs as the monopartite matcher: the
+	// matching is byte-identical at any {window, workers} setting, so
+	// these only move wall-clock.
+	opt.Workers = e.Workers
+	opt.Window = e.MatchWindow
+	res, err := match.MatchBipartite(et, nTail, nHead, tailLabels, headLabels, target, opt)
 	if err != nil {
 		return err
 	}

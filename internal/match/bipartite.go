@@ -153,93 +153,26 @@ func MatchBipartite(et *table.EdgeTable, nTail, nHead int64, tailRowLabels, head
 		return nil, fmt.Errorf("match: order has %d entries for %d nodes", len(order), nTail+nHead)
 	}
 
-	cntH := make([]int64, kh)
-	cntT := make([]int64, kt)
-	var touched []int
-	// Scratch for pickGroup's per-placement scores, sized for either
-	// side and reused across the whole stream; the delta closures are
-	// likewise hoisted out of the loop (they read the loop state through
-	// captured variables), so placements allocate nothing per node.
-	scratch := make([]float64, max(kt, kh))
-	rnd := xrand.NewStream(opt.Seed).DeriveStream("bip-unconstrained")
-
-	var scale float64
-	tailDelta := func(t int) float64 {
-		var d float64
-		for _, j := range touched {
-			c := float64(cntH[j])
-			a := cur[t*kh+j] - scale*tw[t*kh+j]
-			d += c * (2*a + c)
-		}
-		return d
+	st := &bipState{
+		nTail: nTail, kt: kt, kh: kh,
+		tailAdj: tailAdj, headAdj: headAdj,
+		tw: tw, cur: cur, placedEdges: placedEdges,
+		assignT: assignT, assignH: assignH,
+		usedT: usedT, usedH: usedH,
+		capT: capT, capH: capH,
+		order: order, balance: opt.Balance,
+		rnd: xrand.NewStream(opt.Seed).DeriveStream("bip-unconstrained"),
 	}
-	headDelta := func(h int) float64 {
-		var d float64
-		for _, i := range touched {
-			c := float64(cntT[i])
-			a := cur[i*kh+h] - scale*tw[i*kh+h]
-			d += c * (2*a + c)
-		}
-		return d
+	// The windowed path is byte-identical to the serial stream at every
+	// {window, workers} configuration (see bipartite_window.go); only
+	// the scan wall-clock changes.
+	if window := EffectiveWindow(opt.Window, opt.Workers); window > 1 {
+		err = st.runWindowed(window, opt.Workers)
+	} else {
+		err = st.runSerial()
 	}
-
-	for _, x := range order {
-		if x < nTail {
-			v := x
-			// Count placed head neighbours per head group.
-			touched = touched[:0]
-			for _, u := range tailAdj.neighbors(v) {
-				if a := assignH[u]; a != Unassigned {
-					if cntH[a] == 0 {
-						touched = append(touched, int(a))
-					}
-					cntH[a]++
-				}
-			}
-			var cv float64
-			for _, j := range touched {
-				cv += float64(cntH[j])
-			}
-			scale = placedEdges + cv
-			best := pickGroup(kt, usedT, capT, tailDelta, len(touched) > 0, opt.Balance, rnd, x, scratch)
-			if best < 0 {
-				return nil, fmt.Errorf("match: no feasible tail group for node %d", v)
-			}
-			for _, j := range touched {
-				placedEdges += float64(cntH[j])
-				cur[int(best)*kh+j] += float64(cntH[j])
-				cntH[j] = 0
-			}
-			assignT[v] = best
-			usedT[best]++
-		} else {
-			v := x - nTail
-			touched = touched[:0]
-			for _, u := range headAdj.neighbors(v) {
-				if a := assignT[u]; a != Unassigned {
-					if cntT[a] == 0 {
-						touched = append(touched, int(a))
-					}
-					cntT[a]++
-				}
-			}
-			var cv float64
-			for _, i := range touched {
-				cv += float64(cntT[i])
-			}
-			scale = placedEdges + cv
-			best := pickGroup(kh, usedH, capH, headDelta, len(touched) > 0, opt.Balance, rnd, x, scratch)
-			if best < 0 {
-				return nil, fmt.Errorf("match: no feasible head group for node %d", v)
-			}
-			for _, i := range touched {
-				placedEdges += float64(cntT[i])
-				cur[i*kh+int(best)] += float64(cntT[i])
-				cntT[i] = 0
-			}
-			assignH[v] = best
-			usedH[best]++
-		}
+	if err != nil {
+		return nil, err
 	}
 
 	seedT := xrand.NewStream(opt.Seed).DeriveStream("bip-tail").Seed()

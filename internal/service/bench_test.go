@@ -164,6 +164,72 @@ func BenchmarkServiceSingleflightStorm(b *testing.B) {
 	b.ReportMetric(benchStormWidth, "submits/gen")
 }
 
+// BenchmarkServiceWarmHitUnderEviction measures the warm-hit serving
+// path while LRU eviction churns the cache around it: the byte bound
+// admits the hot entry plus roughly one cold one, every iteration
+// stores a fresh cold dataset (evicting the previous iteration's), and
+// only the hot submit + table download is on the timer. The gap vs
+// BenchmarkServiceWarmCacheHit bounds the tax that eviction
+// bookkeeping puts on the hit path (the per-iteration timer restarts
+// and churn-generation GC pressure inflate it; the index operations
+// themselves are O(1)).
+func BenchmarkServiceWarmHitUnderEviction(b *testing.B) {
+	// Probe the per-entry size with an unbounded throwaway service.
+	probe, probeTS := newBenchService(b)
+	benchSubmitAndWait(b, probeTS, testSchema(500))
+	_, entryBytes := probe.cache.stats()
+
+	svc, err := New(Config{
+		CacheDir: b.TempDir(), JobWorkers: 4, EngineWorkers: 2,
+		CacheMaxBytes: 2*entryBytes + entryBytes/2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		svc.Drain(ctx)
+	})
+
+	src := testSchema(500)
+	id := benchSubmitAndWait(b, ts, src)
+	tableURL := ts.URL + "/v1/jobs/" + id + "/tables/edges_knows"
+	var bytes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		benchSubmitAndWait(b, ts, testSchema(3000+i)) // churn: evicts the previous cold entry
+		b.StartTimer()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "text/plain", strings.NewReader(src))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := decodeSubmit(b, resp); got != id {
+			b.Fatalf("warm submit keyed %s, want %s", got, id)
+		}
+		resp, err = http.Get(tableURL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = n
+	}
+	b.SetBytes(bytes)
+	// The first churn entry still fits beside the hot one; pressure
+	// starts on the second iteration.
+	if b.N > 1 && svc.Stats().Cache.LRUEvictions == 0 {
+		b.Fatal("benchmark applied no eviction pressure")
+	}
+}
+
 func jsonDecode(r io.Reader, v any) error {
 	return json.NewDecoder(r).Decode(v)
 }

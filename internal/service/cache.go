@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -31,14 +32,27 @@ import (
 // reports a miss, so the job layer regenerates instead of serving bad
 // bytes. Validated keys are memoized in memory, keeping the hash check
 // off the hot hit path.
+//
+// Size bound: the cache keeps an in-memory index of every committed
+// entry — its byte size (sum of the manifest's per-file sizes) in
+// last-access order — rebuilt from the manifests on startup. When
+// maxBytes > 0, each store evicts cold entries (least recently used
+// first) until the total fits. An entry with open readers is never
+// deleted mid-stream: eviction marks it dead and the directory is
+// removed when the last reader releases it (evict-after-close). If the
+// key is regenerated and re-committed before that happens, the store
+// supersedes the pending removal so the fresh entry survives. The
+// determinism contract makes all of this invisible to clients: an
+// evicted entry regenerates to the same bytes, so a resubmit is merely
+// slower, never different.
 
 // manifestName is the per-entry metadata file; it is never served as a
 // table.
 const manifestName = "manifest.json"
 
 // cacheTempPrefix marks in-progress entry directories; a crash leaves
-// at worst a temp directory that a fresh store of the same key sweeps
-// away.
+// at worst a temp directory that startup or a fresh store of the same
+// key sweeps away.
 const cacheTempPrefix = ".tmp-"
 
 // ManifestFile describes one exported table file of a cache entry.
@@ -76,27 +90,198 @@ func (m *Manifest) File(name string) *ManifestFile {
 	return nil
 }
 
+// totalBytes sums the manifest's per-file sizes — the entry's charge
+// against the cache bound (manifest.json itself is noise and excluded).
+func (m *Manifest) totalBytes() int64 {
+	var n int64
+	for i := range m.Files {
+		n += m.Files[i].Bytes
+	}
+	return n
+}
+
+// cacheEntry is one committed entry in the in-memory LRU index.
+type cacheEntry struct {
+	key   string
+	bytes int64
+	refs  int  // open readers streaming from the entry directory
+	dead  bool // evicted from the index; directory removal may be deferred
+
+	prev, next *cacheEntry // LRU list; head = most recently used
+}
+
 // diskCache is the on-disk entry store.
 type diskCache struct {
-	root string
+	root     string
+	maxBytes int64 // 0 or negative = unbounded
 
 	mu        sync.Mutex
 	validated map[string]*Manifest     // keys hash-verified this process
 	inflight  map[string]chan struct{} // keys being verified right now
+	index     map[string]*cacheEntry   // committed entries, by key
+	dying     map[string]*cacheEntry   // evicted with open readers; dir removal deferred
+	lruHead   *cacheEntry              // most recently used
+	lruTail   *cacheEntry              // coldest
+	total     int64                    // sum of index entry bytes
+	lruEvicts int64                    // entries evicted to satisfy the bound
 }
 
-func newDiskCache(root string) (*diskCache, error) {
+func newDiskCache(root string, maxBytes int64) (*diskCache, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, err
 	}
-	return &diskCache{
+	c := &diskCache{
 		root:      root,
+		maxBytes:  maxBytes,
 		validated: map[string]*Manifest{},
 		inflight:  map[string]chan struct{}{},
-	}, nil
+		index:     map[string]*cacheEntry{},
+		dying:     map[string]*cacheEntry{},
+	}
+	if err := c.rebuildIndex(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// rebuildIndex scans the cache root on startup: crash debris (temp
+// directories) is swept, entries whose manifest does not parse are
+// removed (the full hash check still happens lazily on first lookup),
+// and the survivors seed the LRU index ordered by manifest creation
+// time — with no access history to go on, oldest-created is the best
+// stand-in for coldest. If the directory already exceeds the bound
+// (say, the daemon restarted with a smaller -cachemaxbytes), the
+// excess is evicted immediately.
+func (c *diskCache) rebuildIndex() error {
+	des, err := os.ReadDir(c.root)
+	if err != nil {
+		return err
+	}
+	type seedEntry struct {
+		key     string
+		bytes   int64
+		created time.Time
+	}
+	var seeds []seedEntry
+	for _, de := range des {
+		if !de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.HasPrefix(name, cacheTempPrefix) {
+			os.RemoveAll(filepath.Join(c.root, name))
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(c.root, name, manifestName))
+		if err != nil {
+			os.RemoveAll(filepath.Join(c.root, name))
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(raw, &m); err != nil || m.Key != name {
+			os.RemoveAll(filepath.Join(c.root, name))
+			continue
+		}
+		seeds = append(seeds, seedEntry{key: name, bytes: m.totalBytes(), created: m.Created})
+	}
+	sort.Slice(seeds, func(a, b int) bool {
+		if !seeds[a].created.Equal(seeds[b].created) {
+			return seeds[a].created.Before(seeds[b].created)
+		}
+		return seeds[a].key < seeds[b].key
+	})
+	c.mu.Lock()
+	for _, s := range seeds {
+		e := &cacheEntry{key: s.key, bytes: s.bytes}
+		c.index[s.key] = e
+		c.pushFrontLocked(e)
+		c.total += s.bytes
+	}
+	victims := c.evictToFitLocked("")
+	c.mu.Unlock()
+	for _, dir := range victims {
+		os.RemoveAll(dir)
+	}
+	return nil
 }
 
 func (c *diskCache) entryDir(key string) string { return filepath.Join(c.root, key) }
+
+// LRU list plumbing; all callers hold c.mu.
+
+func (c *diskCache) pushFrontLocked(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = e
+	}
+	c.lruHead = e
+	if c.lruTail == nil {
+		c.lruTail = e
+	}
+}
+
+func (c *diskCache) unlinkLocked(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *diskCache) touchLocked(e *cacheEntry) {
+	if c.lruHead == e {
+		return
+	}
+	c.unlinkLocked(e)
+	c.pushFrontLocked(e)
+}
+
+// dropLocked removes an entry from the index and accounting. The
+// caller decides what happens to the directory.
+func (c *diskCache) dropLocked(e *cacheEntry) {
+	c.unlinkLocked(e)
+	delete(c.index, e.key)
+	delete(c.validated, e.key)
+	c.total -= e.bytes
+	e.dead = true
+}
+
+// evictToFitLocked evicts least-recently-used entries until the total
+// fits the bound, never touching exclude (the entry just stored — a
+// single entry larger than the whole bound is admitted oversize rather
+// than thrashing). Entries with open readers are parked in dying for
+// removal at last release; the returned directories are for the caller
+// to remove outside the lock.
+func (c *diskCache) evictToFitLocked(exclude string) []string {
+	if c.maxBytes <= 0 {
+		return nil
+	}
+	var victims []string
+	for c.total > c.maxBytes {
+		e := c.lruTail
+		for e != nil && e.key == exclude {
+			e = e.prev
+		}
+		if e == nil {
+			break
+		}
+		c.dropLocked(e)
+		c.lruEvicts++
+		if e.refs > 0 {
+			c.dying[e.key] = e
+		} else {
+			victims = append(victims, c.entryDir(e.key))
+		}
+	}
+	return victims
+}
 
 // lookup returns the manifest of a valid cache entry, or nil on miss.
 // evicted reports that an entry existed but failed integrity checks
@@ -108,7 +293,16 @@ func (c *diskCache) entryDir(key string) string { return filepath.Join(c.root, k
 func (c *diskCache) lookup(key string) (*Manifest, bool, error) {
 	for {
 		c.mu.Lock()
+		if _, isDying := c.dying[key]; isDying {
+			// The directory on disk belongs to an evicted entry whose
+			// removal waits on open readers; it must not be re-adopted.
+			c.mu.Unlock()
+			return nil, false, nil
+		}
 		if m, ok := c.validated[key]; ok {
+			if e := c.index[key]; e != nil {
+				c.touchLocked(e)
+			}
 			c.mu.Unlock()
 			return m, false, nil
 		}
@@ -129,6 +323,24 @@ func (c *diskCache) lookup(key string) (*Manifest, bool, error) {
 		delete(c.inflight, key)
 		if err == nil && m != nil {
 			c.validated[key] = m
+			// Index the entry if the startup scan missed it (e.g. the
+			// directory appeared after this process started).
+			e := c.index[key]
+			if e == nil {
+				e = &cacheEntry{key: key, bytes: m.totalBytes()}
+				c.index[key] = e
+				c.pushFrontLocked(e)
+				c.total += e.bytes
+			} else {
+				c.touchLocked(e)
+			}
+		}
+		if evicted {
+			// Corrupt entry: the directory is already gone; drop any
+			// index record so accounting follows.
+			if e := c.index[key]; e != nil {
+				c.dropLocked(e)
+			}
 		}
 		close(ch)
 		c.mu.Unlock()
@@ -193,7 +405,9 @@ func (c *diskCache) verify(dir string, raw []byte, m *Manifest, key string) erro
 // the key. The hash pass honours ctx between files, so a job deadline
 // covers manifest hashing too; once the hashes are in, the commit
 // itself (write + rename) runs to completion — aborting between those
-// two steps buys nothing and risks more cleanup states.
+// two steps buys nothing and risks more cleanup states. After the
+// commit the entry is indexed most-recently-used and cold entries are
+// evicted until the cache fits its bound again.
 func (c *diskCache) store(ctx context.Context, key string, stageDir string, m *Manifest) (*Manifest, error) {
 	names, err := exportedFiles(stageDir)
 	if err != nil {
@@ -230,9 +444,28 @@ func (c *diskCache) store(ctx context.Context, key string, stageDir string, m *M
 	if err := os.Rename(stageDir, final); err != nil {
 		return nil, err
 	}
+	bytes := m.totalBytes()
 	c.mu.Lock()
 	c.validated[key] = m
+	// A dying entry under this key points at the directory we just
+	// replaced; supersede its deferred removal or the last reader's
+	// release would delete the fresh entry.
+	delete(c.dying, key)
+	if e := c.index[key]; e != nil {
+		c.total += bytes - e.bytes
+		e.bytes = bytes
+		c.touchLocked(e)
+	} else {
+		e := &cacheEntry{key: key, bytes: bytes}
+		c.index[key] = e
+		c.pushFrontLocked(e)
+		c.total += bytes
+	}
+	victims := c.evictToFitLocked(key)
 	c.mu.Unlock()
+	for _, dir := range victims {
+		os.RemoveAll(dir)
+	}
 	return m, nil
 }
 
@@ -248,24 +481,82 @@ func (c *diskCache) stage(key string) (string, error) {
 // discard removes a staging directory after a failed store.
 func (c *diskCache) discard(stageDir string) { os.RemoveAll(stageDir) }
 
-// open opens a committed entry file for streaming.
-func (c *diskCache) open(key, name string) (*os.File, error) {
-	return os.Open(filepath.Join(c.entryDir(key), name))
+// open opens a committed entry file for streaming and pins the entry
+// against eviction: release (always non-nil, idempotent) drops the pin
+// and performs the deferred directory removal if the entry was evicted
+// while being read.
+func (c *diskCache) open(key, name string) (*os.File, func(), error) {
+	c.mu.Lock()
+	e := c.index[key]
+	if e != nil {
+		e.refs++
+		c.touchLocked(e)
+	}
+	c.mu.Unlock()
+	f, err := os.Open(filepath.Join(c.entryDir(key), name))
+	if err != nil {
+		if e != nil {
+			c.release(e)
+		}
+		return nil, func() {}, err
+	}
+	if e == nil {
+		// Untracked directory (e.g. a dying entry still streaming to
+		// other readers); the open fd is all the protection needed.
+		return f, func() {}, nil
+	}
+	var once sync.Once
+	return f, func() { once.Do(func() { c.release(e) }) }, nil
 }
 
-// entries counts committed entries on disk (for /v1/stats).
+// release unpins an entry; the last release of a dying entry removes
+// its directory (evict-after-close), unless a fresh store superseded
+// it in the meantime.
+func (c *diskCache) release(e *cacheEntry) {
+	c.mu.Lock()
+	e.refs--
+	var dir string
+	if e.refs == 0 && e.dead && c.dying[e.key] == e {
+		delete(c.dying, e.key)
+		dir = c.entryDir(e.key)
+	}
+	c.mu.Unlock()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+}
+
+// has reports whether key is committed in the index, without
+// validating it. Submit uses this to notice that LRU eviction has
+// invalidated a completed job's dataset.
+func (c *diskCache) has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.index[key]
+	return ok
+}
+
+// stats reports committed entry count and total bytes from the
+// in-memory index — no directory scan (/v1/stats used to re-read the
+// whole cache root on every call).
+func (c *diskCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index), c.total
+}
+
+// entries counts committed entries (from the index).
 func (c *diskCache) entries() int {
-	des, err := os.ReadDir(c.root)
-	if err != nil {
-		return 0
-	}
-	n := 0
-	for _, de := range des {
-		if de.IsDir() && !strings.HasPrefix(de.Name(), cacheTempPrefix) {
-			n++
-		}
-	}
+	n, _ := c.stats()
 	return n
+}
+
+// lruEvictions reports how many entries were evicted to keep the cache
+// under its byte bound.
+func (c *diskCache) lruEvictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lruEvicts
 }
 
 // exportedFiles lists the table files of a staged export directory in

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 //	GET  /v1/jobs/{id}/tables/{table}   stream one exported table file
 //	GET  /v1/healthz                    liveness
 //	GET  /v1/stats                      queue depth, cache hit rate, in-flight engines
+//	GET  /v1/metrics                    Prometheus text-format telemetry
 //
 // Submission bodies: raw DSL text (any non-JSON content type; the
 // format comes from the ?format= query parameter), or a JSON object
@@ -51,6 +54,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/tables/{table}", s.handleTable)
@@ -58,11 +62,11 @@ func (s *Service) Handler() http.Handler {
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	s.writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -70,18 +74,18 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("schema body exceeds %d bytes", maxSchemaBytes))
+			s.writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("schema body exceeds %d bytes", maxSchemaBytes))
 		} else {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("reading schema body: %w", err))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("reading schema body: %w", err))
 		}
 		return
 	}
 	src := string(body)
 	formatName := r.URL.Query().Get("format")
-	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+	if isJSONContentType(r.Header.Get("Content-Type")) {
 		var req submitRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
 			return
 		}
 		src = req.Schema
@@ -90,7 +94,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if strings.TrimSpace(src) == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("empty schema"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("empty schema"))
 		return
 	}
 	if formatName == "" {
@@ -98,7 +102,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	format, err := table.ParseFormat(formatName)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 
@@ -109,15 +113,15 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusServiceUnavailable, err)
+			s.writeErr(w, http.StatusServiceUnavailable, err)
 		case errors.As(err, &le):
-			writeErr(w, http.StatusUnprocessableEntity, err)
+			s.writeErr(w, http.StatusUnprocessableEntity, err)
 		case errors.As(err, &ie):
 			// Cache I/O fault — the server's problem, not the schema's.
-			writeErr(w, http.StatusInternalServerError, err)
+			s.writeErr(w, http.StatusInternalServerError, err)
 		default:
 			// Parse or validation failure.
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 		}
 		return
 	}
@@ -132,19 +136,26 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if res.CacheHit {
 		sr.CacheHit = true
 	}
-	writeJSON(w, code, sr)
+	s.writeJSON(w, code, sr)
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	j := s.Job(r.PathValue("id"))
 	if j == nil {
-		writeErr(w, http.StatusNotFound, errors.New("unknown job"))
+		s.writeErr(w, http.StatusNotFound, errors.New("unknown job"))
 		return
 	}
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		wait, err := time.ParseDuration(waitStr)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid wait duration: %w", err))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid wait duration: %w", err))
+			return
+		}
+		if wait <= 0 {
+			// A zero or negative wait would fall straight through the
+			// select (or never fire), silently behaving like no wait at
+			// all; reject it so clients learn their mistake.
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("wait must be positive, got %q", waitStr))
 			return
 		}
 		if wait > maxWait {
@@ -160,37 +171,49 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, j.View())
+	s.writeJSON(w, http.StatusOK, j.View())
 }
 
 func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
 	j := s.Job(r.PathValue("id"))
 	if j == nil {
-		writeErr(w, http.StatusNotFound, errors.New("unknown job"))
+		s.writeErr(w, http.StatusNotFound, errors.New("unknown job"))
 		return
 	}
 	m := j.Manifest()
 	if m == nil {
 		v := j.View()
 		if v.Status == StatusFailed {
-			writeErr(w, http.StatusConflict, fmt.Errorf("job failed: %s", v.Error))
+			s.writeErr(w, http.StatusConflict, fmt.Errorf("job failed: %s", v.Error))
 			return
 		}
-		writeErr(w, http.StatusConflict, fmt.Errorf("job is %s; tables stream once it is done", v.Status))
+		s.writeErr(w, http.StatusConflict, fmt.Errorf("job is %s; tables stream once it is done", v.Status))
 		return
 	}
 	// Only manifest-listed names resolve, so a crafted path can never
 	// escape the entry directory.
 	mf := m.File(r.PathValue("table"))
 	if mf == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no table file %q in this dataset", r.PathValue("table")))
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("no table file %q in this dataset", r.PathValue("table")))
 		return
 	}
-	f, err := s.cache.open(j.ID(), mf.Name)
+	// open pins the cache entry against LRU eviction for the duration
+	// of the stream: an evicted-while-streaming entry is only removed
+	// from disk after release (evict-after-close).
+	f, release, err := s.cache.open(j.ID(), mf.Name)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("cache entry unreadable: %w", err))
+		release()
+		if os.IsNotExist(err) {
+			// The entry was evicted by the size bound after the job
+			// completed; the dataset regenerates deterministically, so
+			// this is a cache miss to resubmit through, not a fault.
+			s.writeErr(w, http.StatusNotFound, errors.New("dataset evicted from cache; resubmit the schema to regenerate it"))
+			return
+		}
+		s.writeErr(w, http.StatusInternalServerError, fmt.Errorf("cache entry unreadable: %w", err))
 		return
 	}
+	defer release()
 	defer f.Close()
 	format, _ := table.ParseFormat(m.Format)
 	w.Header().Set("Content-Type", format.ContentType())
@@ -199,14 +222,34 @@ func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
 	http.ServeContent(w, r, mf.Name, m.Created, f)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// isJSONContentType reports whether a Content-Type header names the
+// JSON media type proper. Parsing (rather than a prefix match) keeps
+// parameterized forms like "application/json; charset=utf-8" routing
+// as JSON while look-alikes like "application/jsonlines" stay raw DSL.
+func isJSONContentType(ct string) bool {
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == "application/json"
+}
+
+// writeJSON encodes a response body. The status line is already on the
+// wire when encoding starts, so a mid-stream failure can't be turned
+// into an error status — but it must not pass silently either
+// (truncated JSON under a 200 status looks like a server bug): it is
+// counted (response_write_failures_total) and logged.
+func (s *Service) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.writeFailures.Add(1)
+		s.logf("response write failed: %v", err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func (s *Service) writeErr(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,205 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promScrape is a parsed Prometheus text exposition: sample values
+// keyed by "name{labels}", plus the HELP/TYPE declarations seen.
+type promScrape struct {
+	samples map[string]float64
+	help    map[string]bool
+	typ     map[string]string
+}
+
+var promSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$`)
+
+// parseProm parses a scrape body strictly enough to catch exposition-
+// format bugs: every non-comment line must be a well-formed sample,
+// every sample must follow a TYPE declaration for its family.
+func parseProm(t *testing.T, body string) *promScrape {
+	t.Helper()
+	p := &promScrape{
+		samples: map[string]float64{},
+		help:    map[string]bool{},
+		typ:     map[string]string{},
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			p.help[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			p.typ[f[2]] = f[3]
+			continue
+		}
+		m := promSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name := m[1]
+		family := strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum")
+		family = strings.TrimSuffix(family, "_count")
+		if _, ok := p.typ[family]; !ok {
+			if _, ok := p.typ[name]; !ok {
+				t.Fatalf("sample %q has no TYPE declaration", name)
+			}
+		}
+		var v float64
+		switch m[3] {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		default:
+			var err error
+			v, err = strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				t.Fatalf("unparseable sample value in %q: %v", line, err)
+			}
+		}
+		if _, dup := p.samples[name+m[2]]; dup {
+			t.Fatalf("duplicate sample %q", name+m[2])
+		}
+		p.samples[name+m[2]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func (p *promScrape) get(t *testing.T, key string) float64 {
+	t.Helper()
+	v, ok := p.samples[key]
+	if !ok {
+		keys := make([]string, 0, len(p.samples))
+		for k := range p.samples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		t.Fatalf("sample %q missing from scrape; have:\n  %s", key, strings.Join(keys, "\n  "))
+	}
+	return v
+}
+
+// TestMetricsScrapeShape drives the service through a cold submit, a
+// warm hit, and an LRU eviction, then checks that /v1/metrics emits
+// valid Prometheus text whose counters agree with /v1/stats and whose
+// histograms are internally consistent (cumulative buckets, +Inf bucket
+// equal to the count).
+func TestMetricsScrapeShape(t *testing.T) {
+	size := probeEntryBytes(t, 1)
+	svc := newTestService(t, Config{CacheMaxBytes: size + size/2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	submitAndWait(t, svc, 1) // cold: generate + export + hash
+	submitAndWait(t, svc, 1) // warm: cache hit
+	submitAndWait(t, svc, 2) // evicts seed 1
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/metrics status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metricsContentType {
+		t.Fatalf("content type %q, want %q", ct, metricsContentType)
+	}
+	p := parseProm(t, string(body))
+
+	// The scrape and the stats snapshot are taken with the service
+	// quiescent, so they must agree exactly.
+	st := svc.Stats()
+	checks := []struct {
+		key  string
+		want float64
+	}{
+		{"datasynthd_submits_total", 3},
+		{"datasynthd_cache_hits_total", float64(st.Cache.Hits)},
+		{"datasynthd_cache_misses_total", float64(st.Cache.Misses)},
+		{`datasynthd_cache_evictions_total{reason="corrupt"}`, float64(st.Cache.Evictions)},
+		{`datasynthd_cache_evictions_total{reason="lru"}`, float64(st.Cache.LRUEvictions)},
+		{"datasynthd_cache_entries", float64(st.Cache.Entries)},
+		{"datasynthd_cache_bytes", float64(st.Cache.Bytes)},
+		{"datasynthd_cache_max_bytes", float64(st.Cache.MaxBytes)},
+		{"datasynthd_generations_total", float64(st.Generations)},
+		{"datasynthd_singleflight_dedups_total", float64(st.SingleflightDedups)},
+		{"datasynthd_queue_depth", float64(st.QueueDepth)},
+		{`datasynthd_jobs{status="done"}`, float64(st.Jobs.Done)},
+		{"datasynthd_response_write_failures_total", 0},
+	}
+	for _, c := range checks {
+		if got := p.get(t, c.key); got != c.want {
+			t.Errorf("%s = %v, want %v", c.key, got, c.want)
+		}
+	}
+	if st.Cache.Hits < 1 || st.Cache.LRUEvictions < 1 {
+		t.Fatalf("workload did not exercise hits/evictions: %+v", st.Cache)
+	}
+
+	// Phase histograms: two generations ran, so generate/export/hash
+	// observed twice; buckets must be cumulative with +Inf == count.
+	for _, phase := range []string{"generate", "match", "export", "hash"} {
+		count := p.get(t, fmt.Sprintf(`datasynthd_phase_latency_seconds_count{phase=%q}`, phase))
+		sum := p.get(t, fmt.Sprintf(`datasynthd_phase_latency_seconds_sum{phase=%q}`, phase))
+		if phase != "match" && count != 2 {
+			t.Errorf("phase %s: count %v, want 2", phase, count)
+		}
+		if count > 0 && sum <= 0 {
+			t.Errorf("phase %s: %v observations but sum %v", phase, count, sum)
+		}
+		prev := -1.0
+		for _, le := range latencyBuckets {
+			v := p.get(t, fmt.Sprintf(`datasynthd_phase_latency_seconds_bucket{phase=%q,le=%q}`, phase, formatFloat(le)))
+			if v < prev {
+				t.Fatalf("phase %s: bucket le=%v (%v) below previous (%v) — not cumulative", phase, le, v, prev)
+			}
+			prev = v
+		}
+		inf := p.get(t, fmt.Sprintf(`datasynthd_phase_latency_seconds_bucket{phase=%q,le="+Inf"}`, phase))
+		if inf != count {
+			t.Fatalf("phase %s: +Inf bucket %v != count %v", phase, inf, count)
+		}
+		if inf < prev {
+			t.Fatalf("phase %s: +Inf bucket %v below last finite bucket %v", phase, inf, prev)
+		}
+	}
+
+	// Every emitted family carries HELP text.
+	for fam := range p.typ {
+		if !p.help[fam] {
+			t.Errorf("family %s has TYPE but no HELP", fam)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"datasynth/internal/core"
+	"datasynth/internal/depgraph"
 	"datasynth/internal/dsl"
 	"datasynth/internal/schema"
 	"datasynth/internal/table"
@@ -45,6 +46,11 @@ import (
 type Config struct {
 	// CacheDir is the root of the content-addressable dataset cache.
 	CacheDir string
+	// CacheMaxBytes bounds the total size of committed cache entries
+	// (sum of manifest file sizes). Storing past the bound evicts the
+	// least recently used entries; an entry being streamed is evicted
+	// only after its last reader closes. 0 means unbounded.
+	CacheMaxBytes int64
 	// QueueDepth bounds how many jobs may wait for a worker; a full
 	// queue rejects submissions (ErrQueueFull). 0 means 64.
 	QueueDepth int
@@ -275,13 +281,17 @@ type Service struct {
 	queue   chan *Job
 	wg      sync.WaitGroup
 
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	dedupHits    atomic.Int64
-	evictions    atomic.Int64
-	jobEvictions atomic.Int64
-	generations  atomic.Int64
-	inFlight     atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	dedupHits     atomic.Int64
+	evictions     atomic.Int64 // integrity evictions (corrupt entries)
+	jobEvictions  atomic.Int64
+	generations   atomic.Int64
+	inFlight      atomic.Int64
+	submits       atomic.Int64
+	writeFailures atomic.Int64 // JSON responses that failed mid-write
+
+	phases phaseHistograms // per-phase latency, served by /v1/metrics
 }
 
 // New starts a service: creates the cache directory and launches the
@@ -290,7 +300,7 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CacheDir == "" {
 		return nil, fmt.Errorf("service: CacheDir is required")
 	}
-	cache, err := newDiskCache(cfg.CacheDir)
+	cache, err := newDiskCache(cfg.CacheDir, cfg.CacheMaxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -321,6 +331,7 @@ func CacheKey(s *schema.Schema, f table.Format) string {
 // the existing identical job (singleflight) or a completed job served
 // straight from the disk cache. src is DSL text.
 func (s *Service) Submit(src string, format table.Format) (SubmitResult, error) {
+	s.submits.Add(1)
 	sch, err := dsl.Parse(src)
 	if err != nil {
 		return SubmitResult{}, err
@@ -334,11 +345,17 @@ func (s *Service) Submit(src string, format table.Format) (SubmitResult, error) 
 	key := CacheKey(sch, format)
 
 	// Singleflight, round 1: an identical job already queued, running,
-	// or completed collapses this submission onto it.
+	// or completed collapses this submission onto it. A completed job
+	// only counts if its dataset is still cached — LRU eviction can pull
+	// the entry out from under a done job, and riding along on one would
+	// hand the client a job whose downloads all 404.
 	s.mu.Lock()
 	if j, ok := s.jobs[key]; ok && !isFailed(j) {
-		s.mu.Unlock()
-		return s.rideAlong(j), nil
+		if !isDone(j) || s.cache.has(key) {
+			s.mu.Unlock()
+			return s.rideAlong(j), nil
+		}
+		delete(s.jobs, key)
 	}
 	s.mu.Unlock()
 
@@ -355,9 +372,12 @@ func (s *Service) Submit(src string, format table.Format) (SubmitResult, error) 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Round 2: somebody may have submitted the same schema while we
-	// were hashing.
+	// were hashing (same stale-done-job caveat as round 1).
 	if j, ok := s.jobs[key]; ok && !isFailed(j) {
-		return s.rideAlong(j), nil
+		if !isDone(j) || s.cache.has(key) {
+			return s.rideAlong(j), nil
+		}
+		delete(s.jobs, key)
 	}
 	// About to insert a job either way below: garbage-collect the map
 	// first so long-running services don't accumulate one Job per
@@ -511,11 +531,13 @@ func (s *Service) runJob(j *Job) {
 	eng.ExportFormat = j.format
 
 	s.generations.Add(1)
+	genStart := time.Now()
 	d, err := eng.GenerateCtx(ctx)
 	if err != nil {
 		s.failJob(j, err)
 		return
 	}
+	s.phases.observe(phaseGenerate, time.Since(genStart))
 	if err := s.checkDatasetLimits(d); err != nil {
 		s.failJob(j, err)
 		return
@@ -530,12 +552,25 @@ func (s *Service) runJob(j *Job) {
 	// temps cleaned up) and so is the store's hash pass, so a job cannot
 	// run long past JobTimeout just because generation squeaked in under
 	// it.
+	expStart := time.Now()
 	if err := eng.ExportCtx(ctx, d, stageDir); err != nil {
 		s.cache.discard(stageDir)
 		s.failJob(j, err)
 		return
 	}
+	s.phases.observe(phaseExport, time.Since(expStart))
 	report := eng.Report()
+	// The match phase is carved out of the generate wall from the
+	// timings the engine already records: the summed duration of the
+	// run's match tasks — the paper pipeline's dominant stage, and the
+	// one the windowed matchers parallelise.
+	var matchWall time.Duration
+	for i := range report.Timings {
+		if report.Timings[i].Kind == depgraph.TaskMatch {
+			matchWall += report.Timings[i].Duration
+		}
+	}
+	s.phases.observe(phaseMatch, matchWall)
 	reportJSON, err := json.Marshal(report)
 	if err != nil {
 		s.cache.discard(stageDir)
@@ -562,12 +597,14 @@ func (s *Service) runJob(j *Job) {
 		Edges:         edges,
 		Report:        reportJSON,
 	}
+	hashStart := time.Now()
 	m, err = s.cache.store(ctx, j.id, stageDir, m)
 	if err != nil {
 		s.cache.discard(stageDir)
 		s.failJob(j, err)
 		return
 	}
+	s.phases.observe(phaseHash, time.Since(hashStart))
 	j.complete(m, false)
 	s.logf("job %s done: %d nodes, %d edges, %d files", shortKey(j.id), nodes, edges, len(m.Files))
 }
@@ -684,11 +721,17 @@ type Stats struct {
 		Evicted int64 `json:"evicted"`
 	} `json:"jobs"`
 	Cache struct {
-		Entries   int     `json:"entries"`
-		Hits      int64   `json:"hits"`
-		Misses    int64   `json:"misses"`
-		HitRate   float64 `json:"hit_rate"`
-		Evictions int64   `json:"evictions"`
+		Entries  int     `json:"entries"`
+		Bytes    int64   `json:"bytes"`
+		MaxBytes int64   `json:"max_bytes,omitempty"`
+		Hits     int64   `json:"hits"`
+		Misses   int64   `json:"misses"`
+		HitRate  float64 `json:"hit_rate"`
+		// Evictions counts integrity evictions (corrupt entries removed
+		// on lookup); LRUEvictions counts entries evicted to keep the
+		// cache under CacheMaxBytes.
+		Evictions    int64 `json:"evictions"`
+		LRUEvictions int64 `json:"lru_evictions"`
 	} `json:"cache"`
 	SingleflightDedups int64 `json:"singleflight_dedups"`
 	Generations        int64 `json:"generations"`
@@ -725,7 +768,9 @@ func (s *Service) Stats() Stats {
 		j.mu.Unlock()
 	}
 
-	st.Cache.Entries = s.cache.entries()
+	st.Cache.Entries, st.Cache.Bytes = s.cache.stats()
+	st.Cache.MaxBytes = s.cfg.CacheMaxBytes
+	st.Cache.LRUEvictions = s.cache.lruEvictions()
 	st.Cache.Hits = s.cacheHits.Load()
 	st.Cache.Misses = s.cacheMisses.Load()
 	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
