@@ -10,7 +10,7 @@
 # Usage: ./bench.sh [pr-number] [bench-regex] [service-bench-regex] [match-bench-regex]
 set -euo pipefail
 
-PR="${1:-7}"
+PR="${1:-8}"
 PATTERN="${2:-Figure3|Export}"
 SERVICE_PATTERN="${3:-Service}"
 MATCH_PATTERN="${4:-MatchBipartite}"

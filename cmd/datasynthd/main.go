@@ -25,6 +25,18 @@
 // GET /v1/metrics exposes Prometheus text-format counters, gauges, and
 // per-phase latency histograms.
 //
+// The daemon fails jobs, not the process. Worker panics are recovered
+// into job errors; a failed cache commit is retried (-storeretries,
+// -storeretrybase) and, if the disk stays broken (e.g. ENOSPC), the
+// job still completes and serves its tables cache-bypass from the
+// staging directory, marked "degraded": true. GET /v1/readyz answers
+// 503 while degraded or draining so an orchestrator can prefer a
+// healthier replica — GET /v1/healthz stays 200 because the daemon is
+// live and still producing correct bytes. Startup quarantines crash
+// debris (torn cache entries, orphaned temp dirs) into
+// <cache>/.quarantine/ and regenerates on demand; see docs/service.md
+// "Failure modes".
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // running jobs finish (up to -draintimeout), then the process exits.
 package main
@@ -55,21 +67,25 @@ func main() {
 	jobTimeout := flag.Duration("jobtimeout", 10*time.Minute, "per-job generation timeout (0 = none)")
 	maxJobs := flag.Int("maxjobs", 0, "in-memory job map bound, oldest finished jobs evicted first (0 = 4096, negative = unbounded)")
 	jobRetention := flag.Duration("jobretention", 0, "evict finished jobs older than this from the job map (0 = no age bound)")
+	storeRetries := flag.Int("storeretries", 0, "cache-commit attempts before a job goes degraded cache-bypass (0 = 3)")
+	storeRetryBase := flag.Duration("storeretrybase", 0, "first cache-commit retry delay, doubling with jitter per attempt (0 = 25ms)")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	verbose := flag.Bool("v", false, "log job progress")
 	flag.Parse()
 
 	cfg := service.Config{
-		CacheDir:      *cacheDir,
-		CacheMaxBytes: *cacheMaxBytes,
-		QueueDepth:    *queueDepth,
-		JobWorkers:    *jobWorkers,
-		EngineWorkers: *engineWorkers,
-		MaxNodes:      *maxNodes,
-		MaxEdges:      *maxEdges,
-		JobTimeout:    *jobTimeout,
-		MaxJobs:       *maxJobs,
-		JobRetention:  *jobRetention,
+		CacheDir:       *cacheDir,
+		CacheMaxBytes:  *cacheMaxBytes,
+		QueueDepth:     *queueDepth,
+		JobWorkers:     *jobWorkers,
+		EngineWorkers:  *engineWorkers,
+		MaxNodes:       *maxNodes,
+		MaxEdges:       *maxEdges,
+		JobTimeout:     *jobTimeout,
+		MaxJobs:        *maxJobs,
+		JobRetention:   *jobRetention,
+		StoreAttempts:  *storeRetries,
+		StoreRetryBase: *storeRetryBase,
 	}
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "datasynthd: "+format+"\n", args...)

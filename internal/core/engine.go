@@ -27,10 +27,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"datasynth/internal/depgraph"
+	"datasynth/internal/faultfs"
+	"datasynth/internal/par"
 	"datasynth/internal/pgen"
 	"datasynth/internal/schema"
 	"datasynth/internal/sgen"
@@ -64,6 +67,9 @@ type Engine struct {
 	// 0 inherits Workers (and thus NumCPU when that is 0 too), 1 writes
 	// one table at a time. File bytes are identical at any value.
 	ExportWorkers int
+	// ExportFS abstracts the export's filesystem for fault-injection
+	// tests; nil means the real one.
+	ExportFS faultfs.FS
 	// Logf, if non-nil, receives progress lines. It may be called from
 	// multiple scheduler workers concurrently.
 	Logf func(format string, args ...any)
@@ -353,20 +359,29 @@ func (e *Engine) runPlan(ctx context.Context, st *runState, plan *depgraph.Plan)
 
 // runTask dispatches one plan task to its executor. The returned note
 // is a free-form per-task annotation for the timing report (match
-// tasks report their per-pass SBM-Part breakdown there).
-func (e *Engine) runTask(st *runState, plan *depgraph.Plan, t depgraph.Task) (string, error) {
-	switch t.Kind {
-	case depgraph.TaskProperty:
-		return "", e.genNodeProperty(st, plan, t.Type, t.Prop)
-	case depgraph.TaskStructure:
-		return e.genStructure(st, plan, t.Type)
-	case depgraph.TaskMatch:
-		return e.matchEdge(st, plan, t.Type)
-	case depgraph.TaskEdgeProperty:
-		return "", e.genEdgeProperty(st, t.Type, t.Prop)
-	default:
-		return "", fmt.Errorf("core: unknown task kind %v", t.Kind)
-	}
+// tasks report their per-pass SBM-Part breakdown there). A panicking
+// generator or matcher is recovered into a *par.PanicError here, so a
+// bad task fails the plan like any other task error instead of
+// killing the process — the isolation contract the generation service
+// relies on to survive hostile schemas.
+func (e *Engine) runTask(st *runState, plan *depgraph.Plan, t depgraph.Task) (note string, err error) {
+	err = par.Safe(func() error {
+		switch t.Kind {
+		case depgraph.TaskProperty:
+			return e.genNodeProperty(st, plan, t.Type, t.Prop)
+		case depgraph.TaskStructure:
+			note, err = e.genStructure(st, plan, t.Type)
+			return err
+		case depgraph.TaskMatch:
+			note, err = e.matchEdge(st, plan, t.Type)
+			return err
+		case depgraph.TaskEdgeProperty:
+			return e.genEdgeProperty(st, t.Type, t.Prop)
+		default:
+			return fmt.Errorf("core: unknown task kind %v", t.Kind)
+		}
+	})
+	return note, err
 }
 
 func (e *Engine) logf(format string, args ...any) {
@@ -497,6 +512,10 @@ func (e *Engine) genNodeProperty(st *runState, plan *depgraph.Plan, typeName, pr
 // rows independently thanks to in-place generation. A failing worker
 // closes done before exiting, so the producer never blocks on a send
 // nobody will receive — even when every worker has bailed out early.
+// A panicking generator (bad parameter combinations can reach panics
+// inside xrand) is recovered into a *par.PanicError and reported like
+// any other row error, so a hostile property fails its task rather
+// than the process.
 func (e *Engine) parallelFill(pt *table.PropertyTable, n int64, gen pgen.Generator, stream xrand.Stream, depsFor func(id int64, buf []pgen.Value) []pgen.Value, arity int) error {
 	workers := e.Workers
 	if workers <= 0 {
@@ -513,6 +532,18 @@ func (e *Engine) parallelFill(pt *table.PropertyTable, n int64, gen pgen.Generat
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			fail := func(err error) {
+				select {
+				case errs <- err:
+				default:
+				}
+				closeOnce.Do(func() { close(done) })
+			}
+			defer func() {
+				if v := recover(); v != nil {
+					fail(&par.PanicError{Value: v, Stack: debug.Stack()})
+				}
+			}()
 			buf := make([]pgen.Value, arity)
 			for j := range jobs {
 				select {
@@ -523,11 +554,7 @@ func (e *Engine) parallelFill(pt *table.PropertyTable, n int64, gen pgen.Generat
 				for id := j.lo; id < j.hi; id++ {
 					v, err := gen.Run(id, stream, depsFor(id, buf))
 					if err != nil {
-						select {
-						case errs <- fmt.Errorf("core: row %d: %w", id, err):
-						default:
-						}
-						closeOnce.Do(func() { close(done) })
+						fail(fmt.Errorf("core: row %d: %w", id, err))
 						return
 					}
 					storeValue(pt, id, v)

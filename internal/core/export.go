@@ -24,7 +24,7 @@ func (e *Engine) Export(d *table.Dataset, dir string) error {
 // to put its per-job deadline over the export leg, not just generation.
 func (e *Engine) ExportCtx(ctx context.Context, d *table.Dataset, dir string) error {
 	start := time.Now()
-	files, err := d.ExportCtx(ctx, dir, table.ExportOptions{Format: e.ExportFormat, Workers: e.exportWorkers()})
+	files, err := d.ExportCtx(ctx, dir, table.ExportOptions{Format: e.ExportFormat, Workers: e.exportWorkers(), FS: e.ExportFS})
 	if err != nil {
 		return err
 	}

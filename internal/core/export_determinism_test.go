@@ -134,11 +134,11 @@ func TestExportedRefinedDatasetGoldenDeterminism(t *testing.T) {
 		t.Fatal("refinement passes did not change the matched edge table")
 	}
 	configs := []struct{ workers, window, refineWindow, exportWorkers int }{
-		{1, -1, 64, 1},                       // serial first pass, windowed refinement
-		{runtime.NumCPU(), 64, -1, 0},        // windowed first pass, serial refinement
-		{runtime.NumCPU(), 64, 0, 0},         // refinement inherits the first-pass window
-		{runtime.NumCPU(), 0, 512, 4},        // auto window, explicit refinement window
-		{4, 1 << 20, 1 << 20, 2},             // whole stream in one window, both passes
+		{1, -1, 64, 1},                               // serial first pass, windowed refinement
+		{runtime.NumCPU(), 64, -1, 0},                // windowed first pass, serial refinement
+		{runtime.NumCPU(), 64, 0, 0},                 // refinement inherits the first-pass window
+		{runtime.NumCPU(), 0, 512, 4},                // auto window, explicit refinement window
+		{4, 1 << 20, 1 << 20, 2},                     // whole stream in one window, both passes
 		{runtime.NumCPU(), 128, 7, runtime.NumCPU()}, // deliberately ragged window
 	}
 	for _, cfg := range configs {

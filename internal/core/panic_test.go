@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"datasynth/internal/dsl"
+	"datasynth/internal/par"
+)
+
+// panicDSL is a schema any user can submit that used to crash the
+// process: uniform-int over the full int64 range makes Hi-Lo+1
+// overflow to zero, and the stream's Intn panics on a non-positive
+// bound inside the parallel fill workers.
+const panicDSL = `graph boom {
+  seed = 7
+  node A {
+    count = 64
+    property p : int = uniform-int(lo=-9223372036854775808, hi=9223372036854775807)
+  }
+}`
+
+func TestGeneratorPanicReturnsError(t *testing.T) {
+	s, err := dsl.Parse(panicDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		eng := New(s)
+		eng.Workers = workers
+		_, err := eng.Generate()
+		if err == nil {
+			t.Fatalf("workers=%d: Generate must fail, not crash or succeed", workers)
+		}
+		var pe *par.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %T %v, want *par.PanicError", workers, err, err)
+		}
+		if !strings.Contains(err.Error(), "panic") {
+			t.Fatalf("workers=%d: error should say panic: %v", workers, err)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: recovered panic must carry the stack", workers)
+		}
+	}
+}

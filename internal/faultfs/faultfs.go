@@ -1,0 +1,105 @@
+// Package faultfs abstracts the filesystem verbs the cache and export
+// layers actually use behind a small FS interface, with two
+// implementations: OSFS, a zero-cost passthrough to the os package,
+// and InjectFS, a deterministic seeded fault injector that can fail
+// the Nth operation, fail by path pattern, return ENOSPC, tear writes
+// short, and report renames as failed after they happened.
+//
+// The point is validation-first robustness: every "what if the disk
+// dies here" branch in the commit paths (two-phase export, cache
+// store, startup recovery) is reachable from a test, so fault
+// tolerance is demonstrated under injected adversity rather than
+// assumed. Production code always runs against OSFS; the indirection
+// is one interface call per filesystem operation, which the warm-hit
+// benchmark lane pins as unmeasurable against the I/O it wraps.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the open-file surface the callers need: streaming reads
+// (http.ServeContent requires Seek), writes during staging, and Close.
+// *os.File satisfies it; InjectFS wraps it to tear writes.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem verb set of the export and cache commit paths.
+type FS interface {
+	// Create creates or truncates a file for writing.
+	Create(name string) (File, error)
+	// Open opens a file for reading (and seeking).
+	Open(name string) (File, error)
+	// Rename atomically moves oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// WriteFile writes data to name, creating it with perm.
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// ReadFile reads the whole file.
+	ReadFile(name string) ([]byte, error)
+	// MkdirAll creates a directory path.
+	MkdirAll(path string, perm fs.FileMode) error
+	// RemoveAll deletes a path and anything under it.
+	RemoveAll(path string) error
+	// Remove deletes a single file or empty directory.
+	Remove(name string) error
+	// ReadDir lists a directory, sorted by name.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat describes a path.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OSFS is the passthrough implementation over the os package.
+type OSFS struct{}
+
+// OS is the shared passthrough instance; nil FS fields throughout the
+// codebase default to it.
+var OS FS = OSFS{}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// WriteFile implements FS.
+func (OSFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// RemoveAll implements FS.
+func (OSFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// Stat implements FS.
+func (OSFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// OrOS resolves a possibly-nil FS to the passthrough default, so
+// callers can hold a nil field and never branch at call sites.
+func OrOS(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}

@@ -1,0 +1,209 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	if err := OS.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := OS.ReadFile(path)
+	if err != nil || string(raw) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", raw, err)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	des, err := OS.ReadDir(dir)
+	if err != nil || len(des) != 1 || des[0].Name() != "b.txt" {
+		t.Fatalf("ReadDir = %v, %v", des, err)
+	}
+}
+
+func TestNthFailure(t *testing.T) {
+	dir := t.TempDir()
+	rule := &Rule{Ops: OpWriteFile, Nth: 2}
+	fsys := NewInject(1, rule)
+	if err := fsys.WriteFile(filepath.Join(dir, "one"), []byte("1"), 0o644); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	err := fsys.WriteFile(filepath.Join(dir, "two"), []byte("2"), 0o644)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write should fail injected, got %v", err)
+	}
+	if err := fsys.WriteFile(filepath.Join(dir, "three"), []byte("3"), 0o644); err != nil {
+		t.Fatalf("third write should pass: %v", err)
+	}
+	if got := rule.Fired(); got != 1 {
+		t.Fatalf("rule fired %d times, want 1", got)
+	}
+}
+
+func TestPathPatternAndENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewInject(1, &Rule{Ops: OpWriteFile, Path: "manifest.json", Err: ENOSPC})
+	if err := fsys.WriteFile(filepath.Join(dir, "table.csv"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("non-matching path should pass: %v", err)
+	}
+	err := fsys.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{}"), 0o644)
+	if !errors.Is(err, ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "manifest.json")); !os.IsNotExist(statErr) {
+		t.Fatalf("failed WriteFile must not create the file: %v", statErr)
+	}
+}
+
+func TestShortWriteFileTears(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	fsys := NewInject(1, &Rule{Ops: OpWriteFile, Short: true})
+	err := fsys.WriteFile(path, []byte("0123456789"), 0o644)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	raw, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(raw) != "01234" {
+		t.Fatalf("torn file = %q, want first half", raw)
+	}
+}
+
+func TestShortAfterClaimsSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lying")
+	fsys := NewInject(1, &Rule{Ops: OpWriteFile, Short: true, After: true})
+	if err := fsys.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatalf("Short+After must claim success, got %v", err)
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "01234" {
+		t.Fatalf("file = %q, want torn half despite claimed success", raw)
+	}
+}
+
+func TestRenameCrashVsAfter(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+
+	// Plain failure: the rename never happens (crash-before-commit).
+	fsys := NewInject(1, &Rule{Ops: OpRename, Err: ErrCrash})
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(src, dst); !errors.Is(err, ErrCrash) {
+		t.Fatalf("want ErrCrash, got %v", err)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("src must survive a failed rename: %v", err)
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatalf("dst must not exist after failed rename: %v", err)
+	}
+
+	// After: the rename happens, the error is reported anyway (ack lost).
+	fsys = NewInject(1, &Rule{Ops: OpRename, After: true})
+	if err := fsys.Rename(src, dst); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Fatalf("dst must exist after After-rename: %v", err)
+	}
+}
+
+func TestCreateShortTearsStreamWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream")
+	fsys := NewInject(1, &Rule{Ops: OpWrite, Path: "stream", Nth: 1, Short: true})
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("0123456789"))
+	f.Close()
+	if werr == nil {
+		t.Fatal("torn Write must report an error")
+	}
+	if n != 5 {
+		t.Fatalf("torn Write wrote %d bytes, want 5", n)
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "01234" {
+		t.Fatalf("file = %q, want first half", raw)
+	}
+}
+
+func TestOneInDeterminism(t *testing.T) {
+	run := func(seed uint64) []int {
+		dir := t.TempDir()
+		fsys := NewInject(seed, &Rule{Ops: OpWriteFile, OneIn: 4})
+		var failed []int
+		for i := 0; i < 64; i++ {
+			path := filepath.Join(dir, "f")
+			if err := fsys.WriteFile(path, []byte("x"), 0o644); err != nil {
+				failed = append(failed, i)
+			}
+		}
+		return failed
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("OneIn=4 over 64 ops should fire at least once")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different fault positions: %v vs %v", a, b)
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences (suspicious)")
+	}
+}
+
+func TestTimesCapAndClearRules(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewInject(1, &Rule{Ops: OpWriteFile, Times: 2})
+	path := filepath.Join(dir, "f")
+	fails := 0
+	for i := 0; i < 5; i++ {
+		if err := fsys.WriteFile(path, []byte("x"), 0o644); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("Times=2 capped at %d fails, want 2", fails)
+	}
+	fsys.AddRule(&Rule{Ops: OpWriteFile})
+	if err := fsys.WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("uncapped rule must fail every write")
+	}
+	fsys.ClearRules()
+	if err := fsys.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatalf("cleared rules must pass: %v", err)
+	}
+	if fsys.Injected() != 3 {
+		t.Fatalf("Injected = %d, want 3", fsys.Injected())
+	}
+}

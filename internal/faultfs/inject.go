@@ -1,0 +1,366 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// ErrInjected is the default error an injected fault reports.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrash marks an injected fault that simulates the process dying
+// mid-commit: the operation did not happen (or only partially
+// happened) and no cleanup code gets to run in the simulated world.
+// Crash-recovery tests fail an operation with ErrCrash and then start
+// a fresh service over the same directory, asserting the startup
+// sweep quarantines the debris.
+var ErrCrash = errors.New("faultfs: injected crash")
+
+// ENOSPC is the "disk full" errno, re-exported so tests don't import
+// syscall; errors.Is(err, faultfs.ENOSPC) matches what a real full
+// disk returns.
+var ENOSPC error = syscall.ENOSPC
+
+// Op identifies one FS verb (or the Write calls of a Create'd file) in
+// a rule's operation mask.
+type Op uint16
+
+// Operation mask bits. OpAny matches every operation.
+const (
+	OpCreate Op = 1 << iota
+	OpOpen
+	OpRename
+	OpWriteFile
+	OpReadFile
+	OpMkdirAll
+	OpRemoveAll
+	OpRemove
+	OpReadDir
+	OpStat
+	// OpWrite matches Write calls on files obtained from Create —
+	// the knob for short (torn) writes mid-file.
+	OpWrite
+
+	OpAny Op = 1<<iota - 1
+)
+
+var opNames = map[Op]string{
+	OpCreate: "create", OpOpen: "open", OpRename: "rename",
+	OpWriteFile: "writefile", OpReadFile: "readfile",
+	OpMkdirAll: "mkdirall", OpRemoveAll: "removeall", OpRemove: "remove",
+	OpReadDir: "readdir", OpStat: "stat", OpWrite: "write",
+}
+
+// String names a single-bit op (masks render as "op(<bits>)").
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%#x)", uint16(o))
+}
+
+// Rule selects which operations fail and how. A rule matches an
+// operation when the op is in Ops (zero means any), and the path
+// contains the Path substring (empty means any; Rename matches on
+// either path). Among matching operations the rule fires:
+//
+//   - on the Nth match (1-based) when Nth > 0,
+//   - with probability 1/OneIn when OneIn > 0, drawn from the
+//     injector's seeded deterministic stream (the chaos-test mode),
+//   - on every match when neither is set,
+//
+// and at most Times times (0 = unlimited). A fired rule returns Err
+// (ErrInjected when nil). Two modifiers shape the failure:
+//
+//   - Short (Create/Write/WriteFile): half the payload reaches the
+//     file before the error — a torn write, what a crash mid-flush
+//     leaves behind.
+//   - After (any op): the real operation completes and the error is
+//     reported anyway — the "commit happened but the ack was lost"
+//     shape that makes retry idempotence observable.
+type Rule struct {
+	Ops   Op
+	Path  string
+	Nth   int64
+	OneIn int64
+	Times int64
+	Err   error
+	Short bool
+	After bool
+
+	matches int64 // matching operations seen (guarded by the injector's mu)
+	fired   int64 // faults actually injected
+}
+
+// Fired reports how many times the rule injected a fault.
+func (r *Rule) Fired() int64 { return r.fired }
+
+// err resolves the rule's error.
+func (r *Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// InjectFS wraps a base FS (OS when nil) and injects failures
+// according to its rules. All methods are safe for concurrent use;
+// the probabilistic draw is a seeded splitmix64 stream, so a given
+// (seed, operation sequence) always injects the same faults —
+// chaos runs are reproducible.
+type InjectFS struct {
+	Base FS
+
+	mu       sync.Mutex
+	rng      uint64
+	rules    []*Rule
+	ops      int64
+	injected int64
+}
+
+// NewInject returns an injector over the OS filesystem with the given
+// seed and rules.
+func NewInject(seed uint64, rules ...*Rule) *InjectFS {
+	return &InjectFS{Base: OS, rng: seed ^ 0x9e3779b97f4a7c15, rules: rules}
+}
+
+// AddRule appends a rule; live services pick it up on their next
+// filesystem operation.
+func (f *InjectFS) AddRule(r *Rule) {
+	f.mu.Lock()
+	f.rules = append(f.rules, r)
+	f.mu.Unlock()
+}
+
+// ClearRules removes every rule — the "disk recovered" switch.
+func (f *InjectFS) ClearRules() {
+	f.mu.Lock()
+	f.rules = nil
+	f.mu.Unlock()
+}
+
+// Ops reports how many filesystem operations passed through.
+func (f *InjectFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Injected reports how many faults were injected.
+func (f *InjectFS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// splitmix64 advances the injector's deterministic stream.
+func (f *InjectFS) splitmix64() uint64 {
+	f.rng += 0x9e3779b97f4a7c15
+	z := f.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// check consults the rules for one operation. It returns the first
+// firing rule (nil if the operation proceeds normally).
+func (f *InjectFS) check(op Op, paths ...string) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	for _, r := range f.rules {
+		if r.Ops != 0 && r.Ops&op == 0 {
+			continue
+		}
+		if r.Path != "" && !pathMatches(r.Path, paths) {
+			continue
+		}
+		r.matches++
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		fire := true
+		if r.Nth > 0 {
+			fire = r.matches == r.Nth
+		} else if r.OneIn > 0 {
+			fire = f.splitmix64()%uint64(r.OneIn) == 0
+		}
+		if !fire {
+			continue
+		}
+		r.fired++
+		f.injected++
+		return r
+	}
+	return nil
+}
+
+func pathMatches(pattern string, paths []string) bool {
+	for _, p := range paths {
+		if strings.Contains(p, pattern) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *InjectFS) base() FS { return OrOS(f.Base) }
+
+// Create implements FS. A Short rule hands back a file that tears the
+// first Write; a plain rule fails the create outright.
+func (f *InjectFS) Create(name string) (File, error) {
+	if r := f.check(OpCreate, name); r != nil {
+		if !r.Short && !r.After {
+			return nil, &fs.PathError{Op: "create", Path: name, Err: r.err()}
+		}
+	}
+	file, err := f.base().Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: file, fs: f, path: name}, nil
+}
+
+// Open implements FS.
+func (f *InjectFS) Open(name string) (File, error) {
+	if r := f.check(OpOpen, name); r != nil && !r.After {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: r.err()}
+	}
+	return f.base().Open(name)
+}
+
+// Rename implements FS. An After rule performs the rename and reports
+// failure anyway (ack lost); otherwise the rename never happens —
+// with ErrCrash that is exactly "the process died between staging and
+// commit".
+func (f *InjectFS) Rename(oldpath, newpath string) error {
+	if r := f.check(OpRename, oldpath, newpath); r != nil {
+		if r.After {
+			if err := f.base().Rename(oldpath, newpath); err != nil {
+				return err
+			}
+		}
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: r.err()}
+	}
+	return f.base().Rename(oldpath, newpath)
+}
+
+// WriteFile implements FS. Short leaves a torn half-file behind —
+// data[:len/2] reaches disk, the error is reported (or, with After
+// set too, swallowed: the caller believes the write succeeded, which
+// is how a torn-but-committed entry gets manufactured).
+func (f *InjectFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if r := f.check(OpWriteFile, name); r != nil {
+		if r.Short {
+			f.base().WriteFile(name, data[:len(data)/2], perm)
+			if r.After {
+				return nil // torn write that claims success
+			}
+			return &fs.PathError{Op: "write", Path: name, Err: r.err()}
+		}
+		if r.After {
+			if err := f.base().WriteFile(name, data, perm); err != nil {
+				return err
+			}
+		}
+		return &fs.PathError{Op: "write", Path: name, Err: r.err()}
+	}
+	return f.base().WriteFile(name, data, perm)
+}
+
+// ReadFile implements FS.
+func (f *InjectFS) ReadFile(name string) ([]byte, error) {
+	if r := f.check(OpReadFile, name); r != nil && !r.After {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: r.err()}
+	}
+	return f.base().ReadFile(name)
+}
+
+// MkdirAll implements FS.
+func (f *InjectFS) MkdirAll(path string, perm fs.FileMode) error {
+	if r := f.check(OpMkdirAll, path); r != nil {
+		if r.After {
+			if err := f.base().MkdirAll(path, perm); err != nil {
+				return err
+			}
+		}
+		return &fs.PathError{Op: "mkdir", Path: path, Err: r.err()}
+	}
+	return f.base().MkdirAll(path, perm)
+}
+
+// RemoveAll implements FS.
+func (f *InjectFS) RemoveAll(path string) error {
+	if r := f.check(OpRemoveAll, path); r != nil {
+		if r.After {
+			if err := f.base().RemoveAll(path); err != nil {
+				return err
+			}
+		}
+		return &fs.PathError{Op: "removeall", Path: path, Err: r.err()}
+	}
+	return f.base().RemoveAll(path)
+}
+
+// Remove implements FS.
+func (f *InjectFS) Remove(name string) error {
+	if r := f.check(OpRemove, name); r != nil {
+		if r.After {
+			if err := f.base().Remove(name); err != nil {
+				return err
+			}
+		}
+		return &fs.PathError{Op: "remove", Path: name, Err: r.err()}
+	}
+	return f.base().Remove(name)
+}
+
+// ReadDir implements FS.
+func (f *InjectFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if r := f.check(OpReadDir, name); r != nil && !r.After {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: r.err()}
+	}
+	return f.base().ReadDir(name)
+}
+
+// Stat implements FS.
+func (f *InjectFS) Stat(name string) (fs.FileInfo, error) {
+	if r := f.check(OpStat, name); r != nil && !r.After {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: r.err()}
+	}
+	return f.base().Stat(name)
+}
+
+// injectFile routes Write calls of a Create'd file back through the
+// rule table so writes can fail or tear mid-stream.
+type injectFile struct {
+	File
+	fs   *InjectFS
+	path string
+}
+
+// Write implements io.Writer with injection: a Short rule writes half
+// the buffer and reports a short-write error, a plain rule fails the
+// write whole, an After rule writes everything and still errors.
+func (w *injectFile) Write(p []byte) (int, error) {
+	r := w.fs.check(OpWrite, w.path)
+	if r == nil {
+		return w.File.Write(p)
+	}
+	if r.Short {
+		n, _ := w.File.Write(p[: len(p)/2 : len(p)/2])
+		return n, &fs.PathError{Op: "write", Path: w.path, Err: r.err()}
+	}
+	if r.After {
+		n, err := w.File.Write(p)
+		if err != nil {
+			return n, err
+		}
+		return n, &fs.PathError{Op: "write", Path: w.path, Err: r.err()}
+	}
+	return 0, &fs.PathError{Op: "write", Path: w.path, Err: r.err()}
+}

@@ -8,18 +8,56 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered at a fan-out or task boundary,
+// converted into an ordinary error so one panicking unit of work
+// fails its operation instead of killing the process. The goroutine
+// stack of the panic site rides along for the log line — by the time
+// the error surfaces, the panicking frame is long gone.
+type PanicError struct {
+	// Value is what was passed to panic().
+	Value any
+	// Stack is the panicking goroutine's stack, captured in the
+	// deferred recover.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Safe runs fn, converting a panic into a *PanicError. It is the one
+// recover point the pipeline layers share: par workers, the engine's
+// task scheduler and row-fill workers, and the service's job runner
+// all isolate panics through it, so "a panic becomes one failed
+// operation, never a dead process" has a single implementation.
+func Safe(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
 
 // ForEach runs fn(0) … fn(n-1) on up to workers goroutines
 // (workers <= 0 means NumCPU, 1 runs the plain serial loop). Indices
 // are claimed in order; after the first failure no new index is
 // claimed, in-flight calls finish, and the error of the
 // lowest-indexed failure observed is returned — matching what the
-// serial loop would have surfaced. fn must treat its index as the only
-// shared state it may write (e.g. one output slot per index).
+// serial loop would have surfaced. A panicking fn is isolated: the
+// panic is recovered into a *PanicError carrying the stack and
+// reported with the same lowest-index discipline, so one bad index
+// fails the fan-out instead of crashing the process. fn must treat
+// its index as the only shared state it may write (e.g. one output
+// slot per index).
 func ForEach(n, workers int, fn func(i int) error) error {
 	return ForEachCtx(context.Background(), n, workers, fn)
 }
@@ -46,7 +84,8 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			i := i
+			if err := Safe(func() error { return fn(i) }); err != nil {
 				return err
 			}
 		}
@@ -85,7 +124,7 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error
 					fail(i, err)
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := Safe(func() error { return fn(i) }); err != nil {
 					fail(i, err)
 					return
 				}

@@ -107,3 +107,42 @@ func TestForEachReturnsLowestError(t *testing.T) {
 		}
 	}
 }
+
+func TestForEachPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(8, workers, func(i int) error {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic must surface as an error", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %T %v, want *PanicError", workers, err, err)
+		}
+		if pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: PanicError.Value = %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError must carry the stack", workers)
+		}
+	}
+}
+
+func TestSafeRecoversAndPassesThrough(t *testing.T) {
+	if err := Safe(func() error { return nil }); err != nil {
+		t.Fatalf("Safe(ok) = %v", err)
+	}
+	want := errors.New("plain")
+	if err := Safe(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Safe must pass plain errors through, got %v", err)
+	}
+	err := Safe(func() error { panic(fmt.Errorf("wrapped %d", 7)) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Safe(panic) = %T %v, want *PanicError", err, err)
+	}
+}

@@ -246,11 +246,14 @@ func (t *Text) Run(id int64, s xrand.Stream, deps []Value) (Value, error) {
 	return StringValue(sb.String()), nil
 }
 
-// registerBuiltins wires every built-in factory into a registry.
+// registerBuiltins wires every built-in factory into a registry. A
+// failed registration is recorded on the registry (not panicked) and
+// surfaced from Build, so it fails the schema that needs the registry
+// rather than whatever process happened to construct one.
 func registerBuiltins(r *Registry) {
 	must := func(err error) {
-		if err != nil {
-			panic(err)
+		if err != nil && r.err == nil {
+			r.err = err
 		}
 	}
 	must(r.Register("categorical", func(p map[string]string) (Generator, error) {

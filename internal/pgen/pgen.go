@@ -79,6 +79,10 @@ type Factory func(params map[string]string) (Generator, error)
 // paper's "pluggable objects that can be referenced from the DSL".
 type Registry struct {
 	factories map[string]Factory
+	// err records a failed built-in registration; registration used to
+	// panic(err), which a service worker would die from. Build surfaces
+	// it instead, so a broken registry fails one job, not the process.
+	err error
 }
 
 // NewRegistry returns a registry preloaded with all built-in PGs.
@@ -99,6 +103,9 @@ func (r *Registry) Register(name string, f Factory) error {
 
 // Build resolves a generator spec.
 func (r *Registry) Build(name string, params map[string]string) (Generator, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
 	f, ok := r.factories[name]
 	if !ok {
 		return nil, fmt.Errorf("pgen: unknown generator %q (have: %s)", name, strings.Join(r.Names(), ", "))

@@ -451,3 +451,14 @@ func TestMultiCategoricalViaRegistry(t *testing.T) {
 		t.Error("oversized set should fail")
 	}
 }
+
+// TestRegistrationErrorSurfacesNotPanics mirrors the sgen regression:
+// a failed built-in registration is recorded and surfaced from Build
+// instead of panicking the process.
+func TestRegistrationErrorSurfacesNotPanics(t *testing.T) {
+	r := NewRegistry()
+	registerBuiltins(r) // duplicates: every Register fails
+	if _, err := r.Build("uniform-int", map[string]string{"lo": "1", "hi": "2"}); err == nil {
+		t.Fatal("Build on a broken registry must return the registration error")
+	}
+}

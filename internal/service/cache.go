@@ -12,7 +12,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"datasynth/internal/faultfs"
 )
 
 // Content-addressable dataset cache. An entry is a directory
@@ -54,6 +57,14 @@ const manifestName = "manifest.json"
 // at worst a temp directory that startup or a fresh store of the same
 // key sweeps away.
 const cacheTempPrefix = ".tmp-"
+
+// quarantineDirName is where the startup sweep moves crash debris —
+// orphaned temp directories and torn entries — instead of deleting it
+// outright. Quarantining is a rename (cheap, atomic, works even when
+// deletion is what's failing) and preserves the evidence for
+// post-mortem inspection; anything already in quarantine from a
+// previous run is removed first.
+const quarantineDirName = ".quarantine"
 
 // ManifestFile describes one exported table file of a cache entry.
 type ManifestFile struct {
@@ -113,7 +124,12 @@ type cacheEntry struct {
 // diskCache is the on-disk entry store.
 type diskCache struct {
 	root     string
-	maxBytes int64 // 0 or negative = unbounded
+	maxBytes int64      // 0 or negative = unbounded
+	fsys     faultfs.FS // all disk I/O goes through this (OS in production)
+	logf     func(format string, args ...any)
+
+	quarantined  atomic.Int64 // debris dirs quarantined by the startup sweep
+	cleanupFails atomic.Int64 // directory removals that failed (logged, not fatal)
 
 	mu        sync.Mutex
 	validated map[string]*Manifest     // keys hash-verified this process
@@ -126,13 +142,19 @@ type diskCache struct {
 	lruEvicts int64                    // entries evicted to satisfy the bound
 }
 
-func newDiskCache(root string, maxBytes int64) (*diskCache, error) {
-	if err := os.MkdirAll(root, 0o755); err != nil {
+func newDiskCache(root string, maxBytes int64, fsys faultfs.FS, logf func(format string, args ...any)) (*diskCache, error) {
+	fsys = faultfs.OrOS(fsys)
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := fsys.MkdirAll(root, 0o755); err != nil {
 		return nil, err
 	}
 	c := &diskCache{
 		root:      root,
 		maxBytes:  maxBytes,
+		fsys:      fsys,
+		logf:      logf,
 		validated: map[string]*Manifest{},
 		inflight:  map[string]chan struct{}{},
 		index:     map[string]*cacheEntry{},
@@ -144,16 +166,62 @@ func newDiskCache(root string, maxBytes int64) (*diskCache, error) {
 	return c, nil
 }
 
-// rebuildIndex scans the cache root on startup: crash debris (temp
-// directories) is swept, entries whose manifest does not parse are
-// removed (the full hash check still happens lazily on first lookup),
-// and the survivors seed the LRU index ordered by manifest creation
-// time — with no access history to go on, oldest-created is the best
-// stand-in for coldest. If the directory already exceeds the bound
-// (say, the daemon restarted with a smaller -cachemaxbytes), the
-// excess is evicted immediately.
+// removeDir deletes a directory tree, logging and counting a failure
+// instead of dropping it on the floor (eviction and discard used to
+// ignore RemoveAll errors silently, so a cache on a sick disk leaked
+// space with no trace). Callers that must not proceed on failure —
+// evicting a provably corrupt entry — still check errors themselves.
+func (c *diskCache) removeDir(dir string) {
+	if err := c.fsys.RemoveAll(dir); err != nil {
+		c.cleanupFails.Add(1)
+		c.logf("cache: removing %s failed: %v", dir, err)
+	}
+}
+
+// quarantine moves root/name into the quarantine directory under a
+// unique name, falling back to outright removal if the rename fails.
+func (c *diskCache) quarantine(name string) {
+	src := filepath.Join(c.root, name)
+	qdir := filepath.Join(c.root, quarantineDirName)
+	if err := c.fsys.MkdirAll(qdir, 0o755); err != nil {
+		c.logf("cache: quarantine dir: %v; removing %s instead", err, name)
+		c.removeDir(src)
+		return
+	}
+	dst := filepath.Join(qdir, name)
+	for i := 1; ; i++ {
+		if _, err := c.fsys.Stat(dst); err != nil {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s-%d", name, i))
+	}
+	if err := c.fsys.Rename(src, dst); err != nil {
+		c.logf("cache: quarantining %s failed: %v; removing instead", name, err)
+		c.removeDir(src)
+		return
+	}
+	c.quarantined.Add(1)
+	c.logf("cache: quarantined %s -> %s", name, dst)
+}
+
+// rebuildIndex is the crash-recovery sweep, run once at startup. It
+// scans the cache root and sorts every directory into one of three
+// fates: crash debris — orphaned temp directories from a store that
+// died between export and commit, and torn entries whose manifest is
+// missing, truncated, or names the wrong key — is *quarantined* (moved
+// aside, counted, kept for inspection) rather than deleted; leftovers
+// from the previous run's quarantine are removed; and intact entries
+// seed the LRU index ordered by manifest creation time — with no
+// access history to go on, oldest-created is the best stand-in for
+// coldest. (The full hash check still happens lazily on first
+// lookup.) If the directory already exceeds the bound (say, the
+// daemon restarted with a smaller -cachemaxbytes), the excess is
+// evicted immediately. Because a quarantined key is simply a cache
+// miss, the next lookup regenerates it — the determinism contract
+// guarantees byte-identical bytes, so recovery is invisible to
+// clients beyond latency.
 func (c *diskCache) rebuildIndex() error {
-	des, err := os.ReadDir(c.root)
+	des, err := c.fsys.ReadDir(c.root)
 	if err != nil {
 		return err
 	}
@@ -168,18 +236,23 @@ func (c *diskCache) rebuildIndex() error {
 			continue
 		}
 		name := de.Name()
-		if strings.HasPrefix(name, cacheTempPrefix) {
-			os.RemoveAll(filepath.Join(c.root, name))
+		if name == quarantineDirName {
+			// Previous run's quarantine: its post-mortem window is over.
+			c.removeDir(filepath.Join(c.root, name))
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(c.root, name, manifestName))
+		if strings.HasPrefix(name, cacheTempPrefix) {
+			c.quarantine(name)
+			continue
+		}
+		raw, err := c.fsys.ReadFile(filepath.Join(c.root, name, manifestName))
 		if err != nil {
-			os.RemoveAll(filepath.Join(c.root, name))
+			c.quarantine(name)
 			continue
 		}
 		var m Manifest
 		if err := json.Unmarshal(raw, &m); err != nil || m.Key != name {
-			os.RemoveAll(filepath.Join(c.root, name))
+			c.quarantine(name)
 			continue
 		}
 		seeds = append(seeds, seedEntry{key: name, bytes: m.totalBytes(), created: m.Created})
@@ -200,7 +273,7 @@ func (c *diskCache) rebuildIndex() error {
 	victims := c.evictToFitLocked("")
 	c.mu.Unlock()
 	for _, dir := range victims {
-		os.RemoveAll(dir)
+		c.removeDir(dir)
 	}
 	return nil
 }
@@ -351,7 +424,7 @@ func (c *diskCache) lookup(key string) (*Manifest, bool, error) {
 // verifyEntry reads and integrity-checks one entry off disk.
 func (c *diskCache) verifyEntry(key string) (m *Manifest, evicted bool, err error) {
 	dir := c.entryDir(key)
-	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	raw, err := c.fsys.ReadFile(filepath.Join(dir, manifestName))
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
@@ -363,7 +436,8 @@ func (c *diskCache) verifyEntry(key string) (m *Manifest, evicted bool, err erro
 		// Corrupted entry: evict so the caller regenerates. The removal
 		// itself failing is fatal — we must never serve from a directory
 		// we know is bad.
-		if rerr := os.RemoveAll(dir); rerr != nil {
+		if rerr := c.fsys.RemoveAll(dir); rerr != nil {
+			c.cleanupFails.Add(1)
 			return nil, false, fmt.Errorf("service: evicting corrupt cache entry %s: %w (cause: %v)", key, rerr, verr)
 		}
 		return nil, true, nil
@@ -383,7 +457,7 @@ func (c *diskCache) verify(dir string, raw []byte, m *Manifest, key string) erro
 		return fmt.Errorf("manifest lists no files")
 	}
 	for _, f := range m.Files {
-		sum, n, err := hashFile(filepath.Join(dir, f.Name))
+		sum, n, err := hashFile(c.fsys, filepath.Join(dir, f.Name))
 		if err != nil {
 			return fmt.Errorf("file %s: %w", f.Name, err)
 		}
@@ -409,39 +483,29 @@ func (c *diskCache) verify(dir string, raw []byte, m *Manifest, key string) erro
 // commit the entry is indexed most-recently-used and cold entries are
 // evicted until the cache fits its bound again.
 func (c *diskCache) store(ctx context.Context, key string, stageDir string, m *Manifest) (*Manifest, error) {
-	names, err := exportedFiles(stageDir)
+	files, err := manifestFiles(ctx, c.fsys, stageDir)
 	if err != nil {
 		return nil, err
 	}
-	if len(names) == 0 {
+	if len(files) == 0 {
 		return nil, fmt.Errorf("service: staged entry %s has no files", key)
 	}
-	m.Files = make([]ManifestFile, len(names))
-	for i, name := range names {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		sum, n, err := hashFile(filepath.Join(stageDir, name))
-		if err != nil {
-			return nil, err
-		}
-		m.Files[i] = ManifestFile{Name: name, Bytes: n, SHA256: sum}
-	}
+	m.Files = files
 	raw, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(filepath.Join(stageDir, manifestName), raw, 0o644); err != nil {
+	if err := c.fsys.WriteFile(filepath.Join(stageDir, manifestName), raw, 0o644); err != nil {
 		return nil, err
 	}
 	final := c.entryDir(key)
 	// The key cannot be concurrently stored (singleflight), but a stale
 	// or previously evicted directory may linger; sweep it before the
 	// rename.
-	if err := os.RemoveAll(final); err != nil {
+	if err := c.fsys.RemoveAll(final); err != nil {
 		return nil, err
 	}
-	if err := os.Rename(stageDir, final); err != nil {
+	if err := c.fsys.Rename(stageDir, final); err != nil {
 		return nil, err
 	}
 	bytes := m.totalBytes()
@@ -464,7 +528,7 @@ func (c *diskCache) store(ctx context.Context, key string, stageDir string, m *M
 	victims := c.evictToFitLocked(key)
 	c.mu.Unlock()
 	for _, dir := range victims {
-		os.RemoveAll(dir)
+		c.removeDir(dir)
 	}
 	return m, nil
 }
@@ -472,20 +536,21 @@ func (c *diskCache) store(ctx context.Context, key string, stageDir string, m *M
 // stage returns the staging directory for a key, guaranteed empty.
 func (c *diskCache) stage(key string) (string, error) {
 	dir := filepath.Join(c.root, cacheTempPrefix+key)
-	if err := os.RemoveAll(dir); err != nil {
+	if err := c.fsys.RemoveAll(dir); err != nil {
 		return "", err
 	}
 	return dir, nil
 }
 
-// discard removes a staging directory after a failed store.
-func (c *diskCache) discard(stageDir string) { os.RemoveAll(stageDir) }
+// discard removes a staging directory after a failed store; a removal
+// failure is logged and counted, not swallowed.
+func (c *diskCache) discard(stageDir string) { c.removeDir(stageDir) }
 
 // open opens a committed entry file for streaming and pins the entry
 // against eviction: release (always non-nil, idempotent) drops the pin
 // and performs the deferred directory removal if the entry was evicted
 // while being read.
-func (c *diskCache) open(key, name string) (*os.File, func(), error) {
+func (c *diskCache) open(key, name string) (faultfs.File, func(), error) {
 	c.mu.Lock()
 	e := c.index[key]
 	if e != nil {
@@ -493,7 +558,7 @@ func (c *diskCache) open(key, name string) (*os.File, func(), error) {
 		c.touchLocked(e)
 	}
 	c.mu.Unlock()
-	f, err := os.Open(filepath.Join(c.entryDir(key), name))
+	f, err := c.fsys.Open(filepath.Join(c.entryDir(key), name))
 	if err != nil {
 		if e != nil {
 			c.release(e)
@@ -522,7 +587,7 @@ func (c *diskCache) release(e *cacheEntry) {
 	}
 	c.mu.Unlock()
 	if dir != "" {
-		os.RemoveAll(dir)
+		c.removeDir(dir)
 	}
 }
 
@@ -559,11 +624,40 @@ func (c *diskCache) lruEvictions() int64 {
 	return c.lruEvicts
 }
 
+// recoveryStats reports the startup sweep's quarantine count and the
+// running total of failed directory cleanups.
+func (c *diskCache) recoveryStats() (quarantined, cleanupFailures int64) {
+	return c.quarantined.Load(), c.cleanupFails.Load()
+}
+
+// manifestFiles hashes every exported table file under dir into
+// manifest entries, honouring ctx between files. Both the commit path
+// (store) and the degraded cache-bypass path use it, so a bypassed
+// job's manifest carries the same integrity metadata as a cached one.
+func manifestFiles(ctx context.Context, fsys faultfs.FS, dir string) ([]ManifestFile, error) {
+	names, err := exportedFiles(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]ManifestFile, len(names))
+	for i, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sum, n, err := hashFile(fsys, filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		files[i] = ManifestFile{Name: name, Bytes: n, SHA256: sum}
+	}
+	return files, nil
+}
+
 // exportedFiles lists the table files of a staged export directory in
 // sorted order (ReadDir sorts), excluding the manifest and any temp
 // debris.
-func exportedFiles(dir string) ([]string, error) {
-	des, err := os.ReadDir(dir)
+func exportedFiles(fsys faultfs.FS, dir string) ([]string, error) {
+	des, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -578,8 +672,8 @@ func exportedFiles(dir string) ([]string, error) {
 }
 
 // hashFile returns the hex SHA-256 and length of a file.
-func hashFile(path string) (string, int64, error) {
-	f, err := os.Open(path)
+func hashFile(fsys faultfs.FS, path string) (string, int64, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return "", 0, err
 	}

@@ -52,7 +52,7 @@ func entryDirs(t *testing.T, root string) int {
 	}
 	n := 0
 	for _, de := range des {
-		if de.IsDir() && !strings.HasPrefix(de.Name(), cacheTempPrefix) {
+		if de.IsDir() && !strings.HasPrefix(de.Name(), ".") {
 			n++
 		}
 	}

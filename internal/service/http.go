@@ -8,6 +8,7 @@ import (
 	"mime"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 //	GET  /v1/jobs/{id}                  job status + timing report (?wait=30s blocks)
 //	GET  /v1/jobs/{id}/tables/{table}   stream one exported table file
 //	GET  /v1/healthz                    liveness
+//	GET  /v1/readyz                     readiness (503 while degraded or draining)
 //	GET  /v1/stats                      queue depth, cache hit rate, in-flight engines
 //	GET  /v1/metrics                    Prometheus text-format telemetry
 //
@@ -53,6 +55,7 @@ type submitResponse struct {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -63,6 +66,27 @@ func (s *Service) Handler() http.Handler {
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness, distinct from liveness: a daemon whose
+// cache stores are failing keeps serving (healthz stays 200, jobs
+// complete cache-bypass) but answers 503 here so an orchestrator can
+// steer new traffic to a healthier replica.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	switch {
+	case draining:
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.Degraded():
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"reason": "cache store failing; completed jobs served cache-bypass",
+		})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -195,6 +219,25 @@ func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
 	mf := m.File(r.PathValue("table"))
 	if mf == nil {
 		s.writeErr(w, http.StatusNotFound, fmt.Errorf("no table file %q in this dataset", r.PathValue("table")))
+		return
+	}
+	// A degraded job's files never made it into the cache; they stream
+	// straight from the job's staging directory (cache-bypass). No pin
+	// is needed — the directory lives exactly as long as the job record,
+	// and an open fd survives the eventual removal mid-stream.
+	if dir := j.BypassDir(); dir != "" {
+		f, err := s.cache.fsys.Open(filepath.Join(dir, mf.Name))
+		if err != nil {
+			s.writeErr(w, http.StatusNotFound, fmt.Errorf("degraded dataset no longer available (%v); resubmit the schema to regenerate it", err))
+			return
+		}
+		defer f.Close()
+		format, _ := table.ParseFormat(m.Format)
+		w.Header().Set("Content-Type", format.ContentType())
+		w.Header().Set("ETag", `"`+mf.SHA256+`"`)
+		w.Header().Set("X-Datasynth-Cache-Key", j.ID())
+		w.Header().Set("X-Datasynth-Degraded", "1")
+		http.ServeContent(w, r, mf.Name, m.Created, f)
 		return
 	}
 	// open pins the cache entry against LRU eviction for the duration

@@ -104,6 +104,16 @@ func (s *Service) writeMetrics(w io.Writer) {
 		sample{v: float64(st.Jobs.Evicted)})
 	counter(w, "datasynthd_response_write_failures_total", "HTTP responses that failed mid-write (client gone or I/O error).",
 		sample{v: float64(s.writeFailures.Load())})
+	counter(w, "datasynthd_panics_total", "Worker panics recovered into failed jobs instead of crashing the daemon.",
+		sample{v: float64(st.Jobs.Panics)})
+	counter(w, "datasynthd_store_retries_total", "Cache-store attempts beyond each job's first try (transient disk faults retried).",
+		sample{v: float64(st.Cache.StoreRetries)})
+	counter(w, "datasynthd_cache_bypass_total", "Jobs completed in degraded cache-bypass mode after store retries were exhausted.",
+		sample{v: float64(st.Cache.Bypasses)})
+	counter(w, "datasynthd_cache_quarantined_total", "Debris directories (orphaned temps, torn entries) quarantined by the startup recovery sweep.",
+		sample{v: float64(st.Cache.Quarantined)})
+	counter(w, "datasynthd_cache_cleanup_failures_total", "Cache directory removals that failed and were logged.",
+		sample{v: float64(st.Cache.CleanupFailures)})
 
 	gauge(w, "datasynthd_queue_depth", "Jobs waiting for a worker.",
 		sample{v: float64(st.QueueDepth)})
@@ -128,6 +138,12 @@ func (s *Service) writeMetrics(w io.Writer) {
 	}
 	gauge(w, "datasynthd_draining", "1 while the service is draining and rejecting submissions.",
 		sample{v: draining})
+	degraded := 0.0
+	if st.Degraded {
+		degraded = 1
+	}
+	gauge(w, "datasynthd_degraded", "1 while cache stores are failing and completed jobs are served cache-bypass (/v1/readyz answers 503).",
+		sample{v: degraded})
 	gauge(w, "datasynthd_uptime_seconds", "Seconds since the service started.",
 		sample{v: st.UptimeSeconds})
 

@@ -38,6 +38,9 @@ import (
 	"datasynth/internal/core"
 	"datasynth/internal/depgraph"
 	"datasynth/internal/dsl"
+	"datasynth/internal/faultfs"
+	"datasynth/internal/par"
+	"datasynth/internal/retry"
 	"datasynth/internal/schema"
 	"datasynth/internal/table"
 )
@@ -76,6 +79,17 @@ type Config struct {
 	// JobRetention evicts finished jobs older than this from the job map
 	// on each submission. 0 means no age bound.
 	JobRetention time.Duration
+	// FS, if non-nil, routes all cache and export disk I/O through it —
+	// the fault-injection seam (faultfs.InjectFS in tests). Nil means
+	// the real filesystem.
+	FS faultfs.FS
+	// StoreAttempts bounds how many times a failed cache store is tried
+	// (jittered exponential backoff between tries) before the job
+	// degrades to cache-bypass. 0 means 3; negative means 1 (no retry).
+	StoreAttempts int
+	// StoreRetryBase is the backoff base delay between store attempts.
+	// 0 means 25ms.
+	StoreRetryBase time.Duration
 	// Logf, if non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -99,6 +113,23 @@ func (c *Config) engineWorkers() int {
 		return runtime.NumCPU()
 	}
 	return c.EngineWorkers
+}
+
+func (c *Config) storeAttempts() int {
+	if c.StoreAttempts == 0 {
+		return 3
+	}
+	if c.StoreAttempts < 0 {
+		return 1
+	}
+	return c.StoreAttempts
+}
+
+func (c *Config) storeRetryBase() time.Duration {
+	if c.StoreRetryBase <= 0 {
+		return 25 * time.Millisecond
+	}
+	return c.StoreRetryBase
 }
 
 func (c *Config) maxJobs() int {
@@ -157,7 +188,12 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	cacheHit bool // completed straight from the disk cache
-	manifest *Manifest
+	// bypassDir, when non-empty, is the staging directory this job's
+	// files are served from: the cache refused the entry (disk full,
+	// I/O fault) but the export itself succeeded, so the job completed
+	// in degraded cache-bypass mode instead of failing.
+	bypassDir string
+	manifest  *Manifest
 
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
@@ -182,12 +218,16 @@ func (j *Job) Manifest() *Manifest {
 
 // JobView is an immutable snapshot of a job for serialization.
 type JobView struct {
-	ID       string          `json:"id"`
-	Status   JobStatus       `json:"status"`
-	Graph    string          `json:"graph"`
-	Seed     uint64          `json:"seed"`
-	Format   string          `json:"format"`
-	CacheHit bool            `json:"cache_hit"`
+	ID       string    `json:"id"`
+	Status   JobStatus `json:"status"`
+	Graph    string    `json:"graph"`
+	Seed     uint64    `json:"seed"`
+	Format   string    `json:"format"`
+	CacheHit bool      `json:"cache_hit"`
+	// Degraded: the job completed in cache-bypass mode — downloads work
+	// and are byte-identical to a cached run, but the dataset was not
+	// committed to the cache and lives only as long as the job record.
+	Degraded bool            `json:"degraded,omitempty"`
 	Created  time.Time       `json:"created"`
 	Started  *time.Time      `json:"started,omitempty"`
 	Finished *time.Time      `json:"finished,omitempty"`
@@ -209,6 +249,7 @@ func (j *Job) View() JobView {
 		Seed:     j.schema.Seed,
 		Format:   j.format.String(),
 		CacheHit: j.cacheHit,
+		Degraded: j.bypassDir != "",
 		Created:  j.created,
 		Error:    j.errMsg,
 	}
@@ -256,6 +297,27 @@ func (j *Job) complete(m *Manifest, fromCache bool) {
 	close(j.done)
 }
 
+// completeBypass marks the job done in degraded cache-bypass mode:
+// its files are served from dir (the staging directory the export
+// landed in) because the cache could not commit the entry.
+func (j *Job) completeBypass(m *Manifest, dir string) {
+	j.mu.Lock()
+	j.status = StatusDone
+	j.manifest = m
+	j.bypassDir = dir
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// BypassDir returns the staging directory a degraded job serves from,
+// or "" for cache-backed jobs.
+func (j *Job) BypassDir() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bypassDir
+}
+
 // SubmitResult is the outcome of one submission.
 type SubmitResult struct {
 	Job *Job
@@ -290,6 +352,15 @@ type Service struct {
 	inFlight      atomic.Int64
 	submits       atomic.Int64
 	writeFailures atomic.Int64 // JSON responses that failed mid-write
+	panics        atomic.Int64 // panics recovered into failed jobs
+	storeRetries  atomic.Int64 // cache-store attempts beyond the first
+	bypasses      atomic.Int64 // jobs completed in cache-bypass mode
+
+	// degraded latches on when a cache store exhausts its retries and a
+	// job completes by bypass; it clears on the next successful store.
+	// /v1/readyz reports it so an orchestrator can steer traffic away
+	// from a daemon whose disk is sick while it keeps serving.
+	degraded atomic.Bool
 
 	phases phaseHistograms // per-phase latency, served by /v1/metrics
 }
@@ -300,7 +371,7 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CacheDir == "" {
 		return nil, fmt.Errorf("service: CacheDir is required")
 	}
-	cache, err := newDiskCache(cfg.CacheDir, cfg.CacheMaxBytes)
+	cache, err := newDiskCache(cfg.CacheDir, cfg.CacheMaxBytes, cfg.FS, cfg.Logf)
 	if err != nil {
 		return nil, err
 	}
@@ -346,12 +417,13 @@ func (s *Service) Submit(src string, format table.Format) (SubmitResult, error) 
 
 	// Singleflight, round 1: an identical job already queued, running,
 	// or completed collapses this submission onto it. A completed job
-	// only counts if its dataset is still cached — LRU eviction can pull
-	// the entry out from under a done job, and riding along on one would
-	// hand the client a job whose downloads all 404.
+	// only counts if its dataset is still reachable — in the cache, or
+	// served by the job's own bypass directory (degraded mode). LRU
+	// eviction can pull the entry out from under a done job, and riding
+	// along on one would hand the client a job whose downloads all 404.
 	s.mu.Lock()
 	if j, ok := s.jobs[key]; ok && !isFailed(j) {
-		if !isDone(j) || s.cache.has(key) {
+		if !isDone(j) || s.cache.has(key) || j.BypassDir() != "" {
 			s.mu.Unlock()
 			return s.rideAlong(j), nil
 		}
@@ -374,7 +446,7 @@ func (s *Service) Submit(src string, format table.Format) (SubmitResult, error) 
 	// Round 2: somebody may have submitted the same schema while we
 	// were hashing (same stale-done-job caveat as round 1).
 	if j, ok := s.jobs[key]; ok && !isFailed(j) {
-		if !isDone(j) || s.cache.has(key) {
+		if !isDone(j) || s.cache.has(key) || j.BypassDir() != "" {
 			return s.rideAlong(j), nil
 		}
 		delete(s.jobs, key)
@@ -460,6 +532,13 @@ func (s *Service) pruneJobsLocked() {
 		}
 	}
 	evict := func(key string) {
+		// A degraded job's dataset lives only in its bypass directory;
+		// evicting the job record is the moment to reclaim the disk.
+		if j := s.jobs[key]; j != nil {
+			if dir := j.BypassDir(); dir != "" {
+				s.cache.removeDir(dir)
+			}
+		}
 		delete(s.jobs, key)
 		s.jobEvictions.Add(1)
 	}
@@ -513,13 +592,24 @@ func (s *Service) worker() {
 	}
 }
 
-// runJob generates, size-checks, exports and commits one job.
+// runJob generates, size-checks, exports and commits one job. The
+// entire pipeline runs inside par.Safe: a panic anywhere in it — a
+// generator bug, a bad schema tripping library code — is recovered
+// into a failed job (error message carrying the stack) instead of
+// killing the worker goroutine and with it the whole daemon.
 func (s *Service) runJob(j *Job) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	j.setRunning()
 	s.logf("job %s running", shortKey(j.id))
+	if err := par.Safe(func() error { return s.executeJob(j) }); err != nil {
+		s.failJob(j, err)
+	}
+}
 
+// executeJob is the runJob pipeline body; it completes j itself on
+// success and returns the failure otherwise.
+func (s *Service) executeJob(j *Job) error {
 	ctx := context.Background()
 	if s.cfg.JobTimeout > 0 {
 		var cancel context.CancelFunc
@@ -529,23 +619,21 @@ func (s *Service) runJob(j *Job) {
 	eng := core.New(j.schema)
 	eng.Workers = s.cfg.engineWorkers()
 	eng.ExportFormat = j.format
+	eng.ExportFS = s.cfg.FS
 
 	s.generations.Add(1)
 	genStart := time.Now()
 	d, err := eng.GenerateCtx(ctx)
 	if err != nil {
-		s.failJob(j, err)
-		return
+		return err
 	}
 	s.phases.observe(phaseGenerate, time.Since(genStart))
 	if err := s.checkDatasetLimits(d); err != nil {
-		s.failJob(j, err)
-		return
+		return err
 	}
 	stageDir, err := s.cache.stage(j.id)
 	if err != nil {
-		s.failJob(j, err)
-		return
+		return err
 	}
 	// The job deadline covers the whole pipeline: the export below is
 	// ctx-bounded (cancellation aborts between files with the staging
@@ -555,8 +643,7 @@ func (s *Service) runJob(j *Job) {
 	expStart := time.Now()
 	if err := eng.ExportCtx(ctx, d, stageDir); err != nil {
 		s.cache.discard(stageDir)
-		s.failJob(j, err)
-		return
+		return err
 	}
 	s.phases.observe(phaseExport, time.Since(expStart))
 	report := eng.Report()
@@ -574,8 +661,7 @@ func (s *Service) runJob(j *Job) {
 	reportJSON, err := json.Marshal(report)
 	if err != nil {
 		s.cache.discard(stageDir)
-		s.failJob(j, err)
-		return
+		return err
 	}
 	var nodes, edges int64
 	for _, n := range d.NodeCounts {
@@ -598,18 +684,98 @@ func (s *Service) runJob(j *Job) {
 		Report:        reportJSON,
 	}
 	hashStart := time.Now()
-	m, err = s.cache.store(ctx, j.id, stageDir, m)
-	if err != nil {
-		s.cache.discard(stageDir)
-		s.failJob(j, err)
-		return
+	stored, err := s.storeWithRetry(ctx, j.id, stageDir, m)
+	if err == nil {
+		s.phases.observe(phaseHash, time.Since(hashStart))
+		// A successful commit is proof the disk recovered; clear the
+		// degraded latch.
+		s.setDegraded(false)
+		j.complete(stored, false)
+		s.logf("job %s done: %d nodes, %d edges, %d files", shortKey(j.id), nodes, edges, len(stored.Files))
+		return nil
 	}
-	s.phases.observe(phaseHash, time.Since(hashStart))
-	j.complete(m, false)
-	s.logf("job %s done: %d nodes, %d edges, %d files", shortKey(j.id), nodes, edges, len(m.Files))
+	// Degraded cache-bypass: the cache cannot commit the entry (disk
+	// full, persistent I/O fault) but the export itself succeeded and
+	// sits intact in the staging directory. Serving it from there
+	// salvages work that already succeeded — the job completes, its
+	// downloads stream from the stage dir, and only the caching is
+	// lost. The daemon flips its readiness to degraded so orchestrators
+	// notice; a canceled/timed-out job still fails outright.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		s.cache.discard(stageDir)
+		return err
+	}
+	if bErr := s.completeBypass(ctx, j, stageDir, m, err); bErr != nil {
+		s.cache.discard(stageDir)
+		return bErr
+	}
+	return nil
 }
 
+// storeWithRetry commits a staged entry, retrying transient failures
+// with jittered exponential backoff before giving up.
+func (s *Service) storeWithRetry(ctx context.Context, key, stageDir string, m *Manifest) (*Manifest, error) {
+	var out *Manifest
+	p := retry.Policy{
+		Attempts:  s.cfg.storeAttempts(),
+		BaseDelay: s.cfg.storeRetryBase(),
+		MaxDelay:  2 * time.Second,
+		Jitter:    0.5,
+		Seed:      m.Seed,
+	}
+	err := retry.Do(ctx, p, func(attempt int) error {
+		if attempt > 0 {
+			s.storeRetries.Add(1)
+			s.logf("job %s: retrying cache store (attempt %d/%d)", shortKey(key), attempt+1, p.Attempts)
+		}
+		var serr error
+		out, serr = s.cache.store(ctx, key, stageDir, m)
+		return serr
+	})
+	return out, err
+}
+
+// completeBypass finishes a job whose cache store failed for good:
+// the staged files are hashed into the manifest (same integrity
+// metadata as a cached entry) and the job completes serving from the
+// stage directory.
+func (s *Service) completeBypass(ctx context.Context, j *Job, stageDir string, m *Manifest, storeErr error) error {
+	files, err := manifestFiles(ctx, s.cache.fsys, stageDir)
+	if err != nil {
+		return fmt.Errorf("service: cache store failed (%v) and staged export is unusable: %w", storeErr, err)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("service: cache store failed (%v) and staged export is empty", storeErr)
+	}
+	m.Files = files
+	j.completeBypass(m, stageDir)
+	s.bypasses.Add(1)
+	s.setDegraded(true)
+	s.logf("job %s done DEGRADED: cache store failed (%v); serving cache-bypass from stage", shortKey(j.id), storeErr)
+	return nil
+}
+
+// setDegraded flips the degraded latch, logging only transitions.
+func (s *Service) setDegraded(v bool) {
+	if s.degraded.Swap(v) != v {
+		if v {
+			s.logf("service: entering degraded mode (cache store failing; serving cache-bypass)")
+		} else {
+			s.logf("service: degraded mode cleared (cache store succeeded)")
+		}
+	}
+}
+
+// Degraded reports whether the service is in degraded cache-bypass
+// mode (readiness, not liveness: it still serves).
+func (s *Service) Degraded() bool { return s.degraded.Load() }
+
 func (s *Service) failJob(j *Job, err error) {
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		s.panics.Add(1)
+		s.logf("job %s panicked (recovered): %v", shortKey(j.id), pe.Value)
+	}
 	j.fail(err)
 	s.logf("job %s failed: %v", shortKey(j.id), err)
 }
@@ -713,12 +879,17 @@ type Stats struct {
 	JobWorkers    int     `json:"job_workers"`
 	InFlight      int64   `json:"in_flight"`
 	Draining      bool    `json:"draining"`
-	Jobs          struct {
+	// Degraded: cache stores are failing and completed jobs are being
+	// served cache-bypass; /v1/readyz mirrors this as 503.
+	Degraded bool `json:"degraded"`
+	Jobs     struct {
 		Queued  int   `json:"queued"`
 		Running int   `json:"running"`
 		Done    int   `json:"done"`
 		Failed  int   `json:"failed"`
 		Evicted int64 `json:"evicted"`
+		// Panics counts worker panics recovered into failed jobs.
+		Panics int64 `json:"panics"`
 	} `json:"jobs"`
 	Cache struct {
 		Entries  int     `json:"entries"`
@@ -732,6 +903,17 @@ type Stats struct {
 		// cache under CacheMaxBytes.
 		Evictions    int64 `json:"evictions"`
 		LRUEvictions int64 `json:"lru_evictions"`
+		// Quarantined counts debris directories (orphaned temps, torn
+		// entries) the startup recovery sweep moved aside.
+		Quarantined int64 `json:"quarantined"`
+		// CleanupFailures counts directory removals that failed (and
+		// were logged) instead of being silently dropped.
+		CleanupFailures int64 `json:"cleanup_failures"`
+		// StoreRetries counts cache-store attempts beyond each first
+		// try; Bypasses counts jobs completed in degraded cache-bypass
+		// mode after retries were exhausted.
+		StoreRetries int64 `json:"store_retries"`
+		Bypasses     int64 `json:"bypasses"`
 	} `json:"cache"`
 	SingleflightDedups int64 `json:"singleflight_dedups"`
 	Generations        int64 `json:"generations"`
@@ -777,7 +959,12 @@ func (s *Service) Stats() Stats {
 		st.Cache.HitRate = float64(st.Cache.Hits) / float64(total)
 	}
 	st.Jobs.Evicted = s.jobEvictions.Load()
+	st.Jobs.Panics = s.panics.Load()
 	st.Cache.Evictions = s.evictions.Load()
+	st.Cache.Quarantined, st.Cache.CleanupFailures = s.cache.recoveryStats()
+	st.Cache.StoreRetries = s.storeRetries.Load()
+	st.Cache.Bypasses = s.bypasses.Load()
+	st.Degraded = s.degraded.Load()
 	st.SingleflightDedups = s.dedupHits.Load()
 	st.Generations = s.generations.Load()
 	return st

@@ -15,6 +15,12 @@ import (
 type Registry struct {
 	mono map[string]MonoFactory
 	bip  map[string]BipFactory
+	// err records a failed built-in registration. Registration used to
+	// panic(err) — which, reached through core.Engine inside a service
+	// worker, would kill the whole daemon — so the first error is
+	// recorded here instead and surfaced from every Build call: a
+	// broken registry fails the job that touches it, never the process.
+	err error
 }
 
 // MonoFactory builds a monopartite generator.
@@ -56,6 +62,9 @@ func (r *Registry) HasBipartite(name string) bool { _, ok := r.bip[name]; return
 
 // BuildMono resolves a monopartite generator spec.
 func (r *Registry) BuildMono(name string, params map[string]string, seed uint64) (Generator, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
 	f, ok := r.mono[name]
 	if !ok {
 		return nil, fmt.Errorf("sgen: unknown structure generator %q (have: %v)", name, r.MonoNames())
@@ -65,6 +74,9 @@ func (r *Registry) BuildMono(name string, params map[string]string, seed uint64)
 
 // BuildBipartite resolves a bipartite generator spec.
 func (r *Registry) BuildBipartite(name string, params map[string]string, seed uint64) (BipartiteGenerator, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
 	f, ok := r.bip[name]
 	if !ok {
 		return nil, fmt.Errorf("sgen: unknown bipartite structure generator %q (have: %v)", name, r.BipartiteNames())
@@ -130,8 +142,8 @@ func sgParamInt(p map[string]string, key string, def int64) (int64, error) {
 
 func registerBuiltinSGs(r *Registry) {
 	must := func(err error) {
-		if err != nil {
-			panic(err)
+		if err != nil && r.err == nil {
+			r.err = err
 		}
 	}
 	must(r.RegisterMono("rmat", func(p map[string]string, seed uint64) (Generator, error) {

@@ -196,3 +196,19 @@ func TestDarwiniNumNodesForEdges(t *testing.T) {
 		t.Errorf("NumNodesForEdges = %d, want ~1000", n)
 	}
 }
+
+// TestRegistrationErrorSurfacesNotPanics: a broken built-in
+// registration (here simulated by re-registering the builtins, which
+// makes every name a duplicate) must surface from Build calls as an
+// error, never panic — through core.Engine in a service worker a
+// registration panic used to kill the whole daemon.
+func TestRegistrationErrorSurfacesNotPanics(t *testing.T) {
+	r := NewRegistry()
+	registerBuiltinSGs(r) // every Register now fails with a duplicate error
+	if _, err := r.BuildMono("rmat", nil, 1); err == nil {
+		t.Fatal("BuildMono on a broken registry must return the registration error")
+	}
+	if _, err := r.BuildBipartite("one-to-one", nil, 1); err == nil {
+		t.Fatal("BuildBipartite on a broken registry must return the registration error")
+	}
+}

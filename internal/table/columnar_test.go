@@ -231,11 +231,11 @@ func TestColumnarRejectsAbsurdRowCount(t *testing.T) {
 		buf.Write([]byte{1, 'T'}) // type name "T"
 		var scratch [10]byte
 		buf.Write(scratch[:putUvarintLen(scratch[:], rows)])
-		buf.WriteByte(1)             // ncols = 1
+		buf.WriteByte(1)                    // ncols = 1
 		buf.Write([]byte{3, 'T', '.', 'x'}) // column name "T.x"
 		buf.WriteByte(byte(KindString))
-		buf.Write([]byte{0})                // empty block payload length
-		buf.Write([]byte{0, 0, 0, 0})       // CRC of empty payload
+		buf.Write([]byte{0})          // empty block payload length
+		buf.Write([]byte{0, 0, 0, 0}) // CRC of empty payload
 		return buf.Bytes()
 	}
 	for _, rows := range []uint64{^uint64(0), maxColumnarRows + 1} {

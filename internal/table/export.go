@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"datasynth/internal/faultfs"
 	"datasynth/internal/par"
 )
 
@@ -111,6 +112,11 @@ type ExportOptions struct {
 	// 0 = NumCPU, 1 = one table at a time. File bytes are identical at
 	// every worker count.
 	Workers int
+	// FS abstracts the filesystem for fault-injection tests; nil means
+	// the real one. Every disk touch of the export (create, write,
+	// stat, rename, cleanup) goes through it, so tests can crash the
+	// two-phase commit at any step.
+	FS faultfs.FS
 }
 
 // FileStat reports one exported file.
@@ -206,18 +212,19 @@ func (d *Dataset) ExportCtx(ctx context.Context, dir string, opt ExportOptions) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	fsys := faultfs.OrOS(opt.FS)
 	jobs := d.exportJobs(opt.Format)
 	if len(jobs) == 0 {
-		return nil, os.MkdirAll(dir, 0o755)
+		return nil, fsys.MkdirAll(dir, 0o755)
 	}
-	_, statErr := os.Stat(dir)
+	_, statErr := fsys.Stat(dir)
 	createdDir := os.IsNotExist(statErr)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	cleanupDir := func() {
 		if createdDir {
-			os.Remove(dir) // best effort; fails (harmlessly) if non-empty
+			fsys.Remove(dir) // best effort; fails (harmlessly) if non-empty
 		}
 	}
 
@@ -226,7 +233,7 @@ func (d *Dataset) ExportCtx(ctx context.Context, dir string, opt ExportOptions) 
 		j := jobs[i]
 		start := time.Now()
 		tmp := filepath.Join(dir, exportTempName(j.file))
-		f, err := os.Create(tmp)
+		f, err := fsys.Create(tmp)
 		if err != nil {
 			return err
 		}
@@ -237,7 +244,7 @@ func (d *Dataset) ExportCtx(ctx context.Context, dir string, opt ExportOptions) 
 		if err != nil {
 			return fmt.Errorf("table: writing %s: %w", j.file, err)
 		}
-		fi, err := os.Stat(tmp)
+		fi, err := fsys.Stat(tmp)
 		if err != nil {
 			return err
 		}
@@ -252,7 +259,7 @@ func (d *Dataset) ExportCtx(ctx context.Context, dir string, opt ExportOptions) 
 	}
 	if err != nil {
 		for _, j := range jobs {
-			os.Remove(filepath.Join(dir, exportTempName(j.file)))
+			fsys.Remove(filepath.Join(dir, exportTempName(j.file)))
 		}
 		cleanupDir()
 		return nil, err
@@ -264,9 +271,9 @@ func (d *Dataset) ExportCtx(ctx context.Context, dir string, opt ExportOptions) 
 	// copy of their table when re-exporting over an existing dataset —
 	// and only the unrenamed temps are dropped.
 	for i, j := range jobs {
-		if err := os.Rename(filepath.Join(dir, exportTempName(j.file)), filepath.Join(dir, j.file)); err != nil {
+		if err := fsys.Rename(filepath.Join(dir, exportTempName(j.file)), filepath.Join(dir, j.file)); err != nil {
 			for k := i; k < len(jobs); k++ {
-				os.Remove(filepath.Join(dir, exportTempName(jobs[k].file)))
+				fsys.Remove(filepath.Join(dir, exportTempName(jobs[k].file)))
 			}
 			cleanupDir()
 			return nil, fmt.Errorf("table: committing %s: %w", j.file, err)
