@@ -109,6 +109,7 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	//lint:allow nakedgo body is a single channel send of ListenAndServe's return; a crash here should crash the daemon, not be recovered
 	go func() { errc <- server.ListenAndServe() }()
 	logf("listening on %s (cache %s, queue %d, %d job workers)",
 		*listen, *cacheDir, *queueDepth, *jobWorkers)
@@ -129,6 +130,7 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drained := make(chan error, 1)
+	//lint:allow nakedgo shutdown-path one-liner; Drain already isolates job panics, and recovering here would hide a drain crash behind a hung channel read
 	go func() { drained <- svc.Drain(drainCtx) }()
 	if err := server.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logf("http shutdown: %v", err)

@@ -27,7 +27,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"runtime/debug"
 	"sync"
 	"time"
 
@@ -304,43 +303,60 @@ func (e *Engine) runPlan(ctx context.Context, st *runState, plan *depgraph.Plan)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range ready {
-				mu.Lock()
-				if firstErr == nil && ctx.Err() != nil {
-					firstErr = fmt.Errorf("core: generation canceled: %w", ctx.Err())
-					closeReady()
-				}
-				failed := firstErr != nil
-				mu.Unlock()
-				if failed {
-					continue // drain without executing
-				}
-				t := plan.Tasks[i]
-				e.logf("task %s", t.ID())
-				taskStart := time.Now()
-				note, err := e.runTask(st, plan, t)
-				timings[i].Start = taskStart.Sub(runStart)
-				timings[i].Duration = time.Since(taskStart)
-				timings[i].Note = note
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("core: task %s: %w", t.ID(), err)
+			// The scheduling loop itself runs under par.Safe: task
+			// panics are already recovered inside runTask, so this
+			// guards the bookkeeping around it — a panic there fails
+			// the plan (and releases the other workers via closeReady)
+			// instead of killing the process. The mu-guarded sections
+			// are plain assignments and guarded closes and cannot
+			// panic, so the recovery path never runs with mu held.
+			if perr := par.Safe(func() error {
+				for i := range ready {
+					mu.Lock()
+					if firstErr == nil && ctx.Err() != nil {
+						firstErr = fmt.Errorf("core: generation canceled: %w", ctx.Err())
+						closeReady()
 					}
-					closeReady()
+					failed := firstErr != nil
 					mu.Unlock()
-					continue
-				}
-				for _, j := range dependents[i] {
-					indeg[j]--
-					if indeg[j] == 0 && !closed {
-						ready <- j
+					if failed {
+						continue // drain without executing
 					}
+					t := plan.Tasks[i]
+					e.logf("task %s", t.ID())
+					taskStart := time.Now()
+					note, err := e.runTask(st, plan, t)
+					timings[i].Start = taskStart.Sub(runStart)
+					timings[i].Duration = time.Since(taskStart)
+					timings[i].Note = note
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("core: task %s: %w", t.ID(), err)
+						}
+						closeReady()
+						mu.Unlock()
+						continue
+					}
+					for _, j := range dependents[i] {
+						indeg[j]--
+						if indeg[j] == 0 && !closed {
+							ready <- j
+						}
+					}
+					remaining--
+					if remaining == 0 {
+						closeReady()
+					}
+					mu.Unlock()
 				}
-				remaining--
-				if remaining == 0 {
-					closeReady()
+				return nil
+			}); perr != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: scheduler worker: %w", perr)
 				}
+				closeReady()
 				mu.Unlock()
 			}
 		}()
@@ -532,33 +548,32 @@ func (e *Engine) parallelFill(pt *table.PropertyTable, n int64, gen pgen.Generat
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fail := func(err error) {
+			// par.Safe is the recover point: a panicking generator
+			// surfaces as a *par.PanicError through the same error path
+			// as an ordinary row failure.
+			if err := par.Safe(func() error {
+				buf := make([]pgen.Value, arity)
+				for j := range jobs {
+					select {
+					case <-done:
+						return nil // another worker failed; stop early
+					default:
+					}
+					for id := j.lo; id < j.hi; id++ {
+						v, err := gen.Run(id, stream, depsFor(id, buf))
+						if err != nil {
+							return fmt.Errorf("core: row %d: %w", id, err)
+						}
+						storeValue(pt, id, v)
+					}
+				}
+				return nil
+			}); err != nil {
 				select {
 				case errs <- err:
 				default:
 				}
 				closeOnce.Do(func() { close(done) })
-			}
-			defer func() {
-				if v := recover(); v != nil {
-					fail(&par.PanicError{Value: v, Stack: debug.Stack()})
-				}
-			}()
-			buf := make([]pgen.Value, arity)
-			for j := range jobs {
-				select {
-				case <-done:
-					return // another worker failed; stop early
-				default:
-				}
-				for id := j.lo; id < j.hi; id++ {
-					v, err := gen.Run(id, stream, depsFor(id, buf))
-					if err != nil {
-						fail(fmt.Errorf("core: row %d: %w", id, err))
-						return
-					}
-					storeValue(pt, id, v)
-				}
 			}
 		}()
 	}

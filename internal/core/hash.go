@@ -34,8 +34,10 @@ import (
 //
 // History: v1 was the PR-1 scheme; v2 re-keyed LFR intra-community
 // wiring onto per-community RNG streams (PR 2); v3 re-keyed RMAT onto
-// sharded per-(round,shard) streams with radix dedup (PR 6).
-const SchemaVersion = 3
+// sharded per-(round,shard) streams with radix dedup (PR 6); v4 made
+// Barabási–Albert emit each node's targets in sorted order instead of
+// map iteration order, changing BA edge bytes (PR 9).
+const SchemaVersion = 4
 
 // ValidateSchema runs the full static checking pipeline a schema must
 // pass before generation: referential validation (schema.Validate) and

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"datasynth/internal/depgraph"
 	"datasynth/internal/schema"
 	"datasynth/internal/sgen"
@@ -63,10 +65,18 @@ func EstimatedSizes(s *schema.Schema) (nodes, edges int64, err error) {
 
 	// Count inference is a DAG (depgraph rejects cycles), so iterating
 	// to a fixpoint resolves every chain that can be resolved: each pass
-	// settles at least one more link or nothing at all.
+	// settles at least one more link or nothing at all. The fixpoint
+	// visits counts in sorted name order so the estimate — and any
+	// estimator state it builds — is independent of map iteration order.
+	countNames := make([]string, 0, len(plan.Counts))
+	for name := range plan.Counts {
+		countNames = append(countNames, name)
+	}
+	sort.Strings(countNames)
 	for changed := true; changed; {
 		changed = false
-		for name, src := range plan.Counts {
+		for _, name := range countNames {
+			src := plan.Counts[name]
 			if _, done := resolved[name]; done {
 				continue
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -107,7 +108,13 @@ func (e *Engine) genStructure(st *runState, plan *depgraph.Plan, edgeName string
 // A non-positive MaxNode (empty table) is left uncached so nodeCount
 // reports its usual error at the first reader.
 func (e *Engine) cacheEdgeSourcedCounts(st *runState, plan *depgraph.Plan, edgeName string, et *table.EdgeTable) {
-	for typeName, src := range plan.Counts {
+	typeNames := make([]string, 0, len(plan.Counts))
+	for typeName := range plan.Counts {
+		typeNames = append(typeNames, typeName)
+	}
+	sort.Strings(typeNames)
+	for _, typeName := range typeNames {
+		src := plan.Counts[typeName]
 		if src.Kind != depgraph.SourceEdgeHead || src.Edge != edgeName {
 			continue
 		}

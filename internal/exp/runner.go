@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"datasynth/internal/par"
 )
 
 // Parallel panel fan-out. The panels of a figure are fully independent
@@ -57,6 +59,7 @@ func RunPanels(panels []Panel, workers int, emit func(*Result) error) error {
 	jobs := make(chan int)
 	done := make(chan struct{})
 	inflight := make(chan struct{}, workers+1)
+	//lint:allow nakedgo dispatcher body is pure channel sends and selects; recovering a panic here would close(jobs) early and convert a loud crash into a silent truncated run
 	go func() {
 		defer close(jobs)
 		for i := 0; i < n; i++ {
@@ -78,7 +81,16 @@ func RunPanels(panels []Panel, workers int, emit func(*Result) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				r, err := RunPanel(panels[i])
+				// par.Safe converts a panicking panel (a generator bug on
+				// one parameter point) into that panel's error outcome, so
+				// the figure run fails cleanly in submission order instead
+				// of taking down the whole experiment binary.
+				var r *Result
+				err := par.Safe(func() error {
+					var runErr error
+					r, runErr = RunPanel(panels[i])
+					return runErr
+				})
 				results[i] <- outcome{r, err}
 			}
 		}()

@@ -2,10 +2,10 @@ package match
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"datasynth/internal/graph"
+	"datasynth/internal/par"
 )
 
 // Re-streaming: the paper defers "optimization strategies" to future
@@ -151,22 +151,21 @@ func rebuildJointMatrix(g *graph.Graph, prev []int64, cur []float64, kk int64, w
 		rebuildJointRange(g, prev, cur, kk, 0, n)
 		return
 	}
-	var wg sync.WaitGroup
 	for s := 1; s < workers; s++ {
 		local := scratch[s-1]
 		for i := range local {
 			local[i] = 0
 		}
+	}
+	par.Workers(workers, func(s int) {
+		if s == 0 {
+			rebuildJointRange(g, prev, cur, kk, 0, n/int64(workers))
+			return
+		}
 		lo := n * int64(s) / int64(workers)
 		hi := n * int64(s+1) / int64(workers)
-		wg.Add(1)
-		go func(lo, hi int64, local []float64) {
-			defer wg.Done()
-			rebuildJointRange(g, prev, local, kk, lo, hi)
-		}(lo, hi, local)
-	}
-	rebuildJointRange(g, prev, cur, kk, 0, n/int64(workers))
-	wg.Wait()
+		rebuildJointRange(g, prev, scratch[s-1], kk, lo, hi)
+	})
 	for _, local := range scratch[:workers-1] {
 		for i, v := range local {
 			cur[i] += v

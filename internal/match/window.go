@@ -3,9 +3,9 @@ package match
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"datasynth/internal/graph"
+	"datasynth/internal/par"
 	"datasynth/internal/xrand"
 )
 
@@ -226,20 +226,19 @@ func defaultWorkers() int { return runtime.NumCPU() }
 // scratch, so concurrent scans share no mutable state. Both the first
 // pass and the refinement passes dispatch their scans through here.
 func runScanChunks(wn, workers, k int, scan func(lo, hi int, cnt []int64, pos []int32, tl []int32)) {
-	var wg sync.WaitGroup
+	if wn <= 0 {
+		return
+	}
 	chunk := (wn + workers - 1) / workers
-	for lo := 0; lo < wn; lo += chunk {
+	nChunks := (wn + chunk - 1) / chunk
+	par.Workers(nChunks, func(c int) {
+		lo := c * chunk
 		hi := lo + chunk
 		if hi > wn {
 			hi = wn
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			scan(lo, hi, make([]int64, k), make([]int32, k), make([]int32, 0, k))
-		}(lo, hi)
-	}
-	wg.Wait()
+		scan(lo, hi, make([]int64, k), make([]int32, k), make([]int32, 0, k))
+	})
 }
 
 // sortTouchedByPos restores the serial first-occurrence group order

@@ -47,6 +47,47 @@ func Safe(fn func() error) (err error) {
 	return fn()
 }
 
+// Workers runs fn(0) … fn(workers-1), one goroutine per worker, and
+// waits for all of them to finish. Each worker runs under Safe; after
+// the pool drains, the first recovered panic (lowest worker index) is
+// re-raised on the caller's goroutine as its original *PanicError.
+// This keeps the call transparent for the generator/matcher worker
+// pools, whose workers write only worker-private or index-disjoint
+// state and cannot fail with ordinary errors: callers keep their plain
+// signatures, while a worker panic is transported to a goroutine with
+// a recover boundary above it (engine runTask, service runJob) — one
+// crashing worker fails its task, never the process. workers <= 1
+// calls fn(0) inline on the caller's goroutine.
+func Workers(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errW     int
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := Safe(func() error { fn(w); return nil }); err != nil {
+				mu.Lock()
+				if firstErr == nil || w < errW {
+					firstErr, errW = err, w
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		panic(firstErr)
+	}
+}
+
 // ForEach runs fn(0) … fn(n-1) on up to workers goroutines
 // (workers <= 0 means NumCPU, 1 runs the plain serial loop). Indices
 // are claimed in order; after the first failure no new index is

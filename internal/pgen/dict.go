@@ -2,6 +2,7 @@ package pgen
 
 import (
 	"fmt"
+	"sort"
 
 	"datasynth/internal/table"
 	"datasynth/internal/xrand"
@@ -120,9 +121,14 @@ func NewConditionalName(dict string) (*ConditionalName, error) {
 	if dict != "" && dict != "names" {
 		return nil, fmt.Errorf("pgen: unknown name dictionary %q", dict)
 	}
+	keys := make([]string, 0, len(namesByRegionSex))
+	for key := range namesByRegionSex {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	dists := make(map[string]*Categorical, len(namesByRegionSex))
-	for key, names := range namesByRegionSex {
-		c, err := NewZipfCategorical(names, 0.8)
+	for _, key := range keys {
+		c, err := NewZipfCategorical(namesByRegionSex[key], 0.8)
 		if err != nil {
 			return nil, err
 		}

@@ -385,7 +385,15 @@ func New(cfg Config) (*Service, error) {
 	}
 	for w := 0; w < cfg.jobWorkers(); w++ {
 		s.wg.Add(1)
-		go s.worker()
+		go func() {
+			defer s.wg.Done()
+			// runJob recovers per-job panics itself; this outer Safe is a
+			// backstop for the loop plumbing, so a crash there degrades the
+			// pool by one worker instead of killing the whole daemon.
+			if err := par.Safe(func() error { s.worker(); return nil }); err != nil {
+				s.logf("service: job worker crashed: %v", err)
+			}
+		}()
 	}
 	return s, nil
 }
@@ -586,7 +594,6 @@ func (s *Service) Job(id string) *Job {
 
 // worker drains the job queue until it closes.
 func (s *Service) worker() {
-	defer s.wg.Done()
 	for j := range s.queue {
 		s.runJob(j)
 	}
@@ -851,6 +858,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	idle := make(chan struct{})
+	//lint:allow nakedgo waiter is only wg.Wait plus a channel close; neither can panic, and par.Safe would add nothing to recover
 	go func() {
 		s.wg.Wait()
 		close(idle)

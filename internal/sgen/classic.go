@@ -3,6 +3,7 @@ package sgen
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"datasynth/internal/table"
 	"datasynth/internal/xrand"
@@ -141,7 +142,15 @@ func (g *BarabasiAlbert) Run(n int64) (*table.EdgeTable, error) {
 			}
 			chosen[target] = struct{}{}
 		}
+		// The emission order of v's targets feeds both the edge table
+		// bytes and the endpoints list that later nodes sample from, so
+		// it must not depend on map iteration order.
+		targets := make([]int64, 0, len(chosen))
 		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, t := range targets {
 			et.Add(v, t)
 			endpoints = append(endpoints, v, t)
 		}

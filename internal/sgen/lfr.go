@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
+	"datasynth/internal/par"
 	"datasynth/internal/table"
 	"datasynth/internal/xrand"
 )
@@ -375,24 +375,18 @@ func (l *LFR) wireIntraShards(et *table.EdgeTable, sizes, intra []int, memberBuf
 		}
 	} else {
 		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				dd := newEdgeDedup(0)
-				local := &table.EdgeTable{}
-				var stubs []int64
-				for {
-					c := int(next.Add(1) - 1)
-					if c >= nComm {
-						return
-					}
-					stubs = wire(c, dd, local, stubs)
+		par.Workers(workers, func(int) {
+			dd := newEdgeDedup(0)
+			local := &table.EdgeTable{}
+			var stubs []int64
+			for {
+				c := int(next.Add(1) - 1)
+				if c >= nComm {
+					return
 				}
-			}()
-		}
-		wg.Wait()
+				stubs = wire(c, dd, local, stubs)
+			}
+		})
 	}
 
 	for c := 0; c < nComm; c++ {

@@ -3,9 +3,9 @@ package sgen
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
+	"datasynth/internal/par"
 	"datasynth/internal/table"
 	"datasynth/internal/xrand"
 )
@@ -299,21 +299,15 @@ func shardLoop(draws int64, workers int, fill func(s int, lo, hi int64)) {
 		return
 	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				s := int(next.Add(1) - 1)
-				if s >= nShards {
-					return
-				}
-				run(s)
+	par.Workers(workers, func(int) {
+		for {
+			s := int(next.Add(1) - 1)
+			if s >= nShards {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			run(s)
+		}
+	})
 }
 
 // fillSlab fills one round's two-array slab (Noise or KeepDuplicates

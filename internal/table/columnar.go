@@ -7,10 +7,11 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"datasynth/internal/faultfs"
 )
 
 // Binary columnar export (.dsc — "DataSynth columns"): the bulk-load
@@ -464,9 +465,17 @@ func ReadColumnarTable(r io.Reader) (*ColumnarTable, error) {
 	return ct, nil
 }
 
-// ReadColumnarFile decodes the columnar file at path.
+// ReadColumnarFile decodes the columnar file at path on the real
+// filesystem. Fault-injection tests use ReadColumnarFileFS.
 func ReadColumnarFile(path string) (*ColumnarTable, error) {
-	f, err := os.Open(path)
+	return ReadColumnarFileFS(faultfs.OS, path)
+}
+
+// ReadColumnarFileFS decodes the columnar file at path through fsys,
+// so injected open/read faults exercise the load path like real I/O
+// errors would.
+func ReadColumnarFileFS(fsys faultfs.FS, path string) (*ColumnarTable, error) {
+	f, err := faultfs.OrOS(fsys).Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -479,10 +488,16 @@ func ReadColumnarFile(path string) (*ColumnarTable, error) {
 }
 
 // OpenColumnar loads every *.dsc file in dir back into a Dataset — the
-// read side of WriteDirColumnar. File kind and type come from the file
-// headers, not the names.
+// read side of WriteDirColumnar — on the real filesystem.
 func OpenColumnar(dir string) (*Dataset, error) {
-	entries, err := os.ReadDir(dir)
+	return OpenColumnarFS(faultfs.OS, dir)
+}
+
+// OpenColumnarFS is OpenColumnar through fsys. File kind and type come
+// from the file headers, not the names.
+func OpenColumnarFS(fsys faultfs.FS, dir string) (*Dataset, error) {
+	fsys = faultfs.OrOS(fsys)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -498,7 +513,7 @@ func OpenColumnar(dir string) (*Dataset, error) {
 	}
 	d := NewDataset()
 	for _, name := range names {
-		ct, err := ReadColumnarFile(filepath.Join(dir, name))
+		ct, err := ReadColumnarFileFS(fsys, filepath.Join(dir, name))
 		if err != nil {
 			return nil, err
 		}

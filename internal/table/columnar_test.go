@@ -2,11 +2,14 @@ package table
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"datasynth/internal/faultfs"
 )
 
 func floatBits(f float64) uint64 { return math.Float64bits(f) }
@@ -113,6 +116,37 @@ func TestColumnarRoundTrip(t *testing.T) {
 		}
 	}
 	got, err := OpenColumnar(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, d, got)
+}
+
+// TestColumnarReadFaultInjection pins the read path to faultfs: both
+// the directory scan and every per-file open must go through the
+// caller's FS, so injected faults surface as load errors instead of
+// silently bypassing the harness via direct os calls.
+func TestColumnarReadFaultInjection(t *testing.T) {
+	d := roundTripDataset()
+	dir := t.TempDir()
+	if err := d.WriteDirColumnar(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	fsys := faultfs.NewInject(1, &faultfs.Rule{Ops: faultfs.OpReadDir, Nth: 1})
+	if _, err := OpenColumnarFS(fsys, dir); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("OpenColumnarFS with ReadDir fault = %v, want ErrInjected", err)
+	}
+
+	// Nth=2 proves the second file's open is routed through fsys too,
+	// not just the first.
+	fsys = faultfs.NewInject(1, &faultfs.Rule{Ops: faultfs.OpOpen, Nth: 2})
+	if _, err := OpenColumnarFS(fsys, dir); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("OpenColumnarFS with Open fault = %v, want ErrInjected", err)
+	}
+
+	// A rule-free injected FS must behave exactly like the real one.
+	got, err := OpenColumnarFS(faultfs.NewInject(1), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -198,9 +198,11 @@ func (d *Dataset) WriteDir(dir string) error {
 // Stats summarises the dataset for logging.
 func (d *Dataset) Stats() string {
 	var nodes, edges int64
+	//lint:allow detrange integer sums are order-independent and feed a log line, not output bytes
 	for _, n := range d.NodeCounts {
 		nodes += n
 	}
+	//lint:allow detrange integer sums are order-independent and feed a log line, not output bytes
 	for _, et := range d.Edges {
 		edges += et.Len()
 	}

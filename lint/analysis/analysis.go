@@ -1,0 +1,63 @@
+// Package analysis is a dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check, a
+// Pass hands it one type-checked package, and Report collects
+// position-tagged diagnostics.
+//
+// The real x/tools framework is the natural home for these analyzers —
+// this package exists because the datasynth build environment is fully
+// offline (no module proxy), so the lint module vendors the minimal
+// API shape instead. The field and method names match x/tools exactly;
+// porting an analyzer onto the upstream framework is a one-line import
+// change, and the analyzers deliberately use nothing beyond this
+// subset.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph help text: first line is a summary,
+	// the rest explains the contract the analyzer enforces.
+	Doc string
+	// Run applies the check to one package. Findings are delivered
+	// through pass.Report; the result value is unused by this driver
+	// and exists for x/tools API compatibility.
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+	// Fset maps token.Pos to file positions for all Files.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type and object resolution for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	// Pos is where the finding anchors.
+	Pos token.Pos
+	// Message states the violated contract and the fix.
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

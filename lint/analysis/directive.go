@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression directive. Grammar:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// The directive suppresses findings of <analyzer> on its own line
+// (trailing comment) or on the line directly below it (directive on
+// its own line, the usual form). The reason is mandatory: a directive
+// without one does not suppress anything and is itself reported, so
+// every silenced finding carries a written justification in the
+// source.
+const allowPrefix = "//lint:allow"
+
+// allow is one parsed //lint:allow directive.
+type allow struct {
+	pos      token.Pos
+	line     int
+	file     string
+	analyzer string
+	reason   string
+}
+
+// parseAllows extracts every //lint:allow directive from the files.
+func parseAllows(fset *token.FileSet, files []*ast.File) []allow {
+	var out []allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue // e.g. //lint:allowother
+				}
+				// Cut a trailing analysistest marker so fixtures can
+				// assert on directives ("//lint:allow x // want ...").
+				if i := strings.Index(text, "// want"); i >= 0 {
+					text = text[:i]
+				}
+				fields := strings.Fields(text)
+				a := allow{pos: c.Pos()}
+				p := fset.Position(c.Pos())
+				a.file, a.line = p.Filename, p.Line
+				if len(fields) > 0 {
+					a.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					a.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Filter applies //lint:allow directives for the named analyzer to
+// diags: findings covered by a well-formed directive are dropped, and
+// every directive naming the analyzer but missing its mandatory reason
+// becomes a finding of its own. The returned slice preserves the order
+// of the surviving input diagnostics, with missing-reason findings
+// appended.
+func Filter(fset *token.FileSet, files []*ast.File, name string, diags []Diagnostic) []Diagnostic {
+	allows := parseAllows(fset, files)
+	if len(allows) == 0 {
+		return diags
+	}
+	type key struct {
+		file string
+		line int
+	}
+	suppressed := map[key]bool{}
+	var extra []Diagnostic
+	for _, a := range allows {
+		if a.analyzer != name {
+			continue
+		}
+		if a.reason == "" {
+			extra = append(extra, Diagnostic{
+				Pos:     a.pos,
+				Message: "//lint:allow " + name + " directive is missing its mandatory reason",
+			})
+			continue
+		}
+		// A trailing directive covers its own line; a directive on its
+		// own line covers the line below.
+		suppressed[key{a.file, a.line}] = true
+		suppressed[key{a.file, a.line + 1}] = true
+	}
+	kept := diags[:0:0]
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		if suppressed[key{p.Filename, p.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, extra...)
+}

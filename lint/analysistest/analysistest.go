@@ -1,0 +1,141 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments — the same contract
+// as golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// stdlib because the build environment is offline.
+//
+// Fixtures live in testdata/src/<importpath>/*.go. A line that should
+// produce a finding carries a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// where each quoted (or backquoted) pattern must match one diagnostic
+// reported on that line. Diagnostics without a matching want, and
+// wants without a matching diagnostic, fail the test. //lint:allow
+// directives are applied exactly as the datasynthlint driver applies
+// them, so fixtures exercise suppression and the mandatory-reason rule
+// end to end.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"datasynth/lint/analysis"
+	"datasynth/lint/internal/load"
+)
+
+// TestData returns the caller's testdata/src directory, the fixture
+// root expected by Run.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller for testdata")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata", "src")
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRe matches one quoted or backquoted pattern.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads each fixture package from srcRoot, applies the analyzer
+// plus //lint:allow filtering, and reports mismatches against the
+// fixtures' // want comments through t.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		runOne(t, srcRoot, a, path)
+	}
+}
+
+func runOne(t *testing.T, srcRoot string, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	pkg, err := load.LoadFixture(srcRoot, importPath)
+	if err != nil {
+		t.Errorf("%s: %v", importPath, err)
+		return
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer %s: %v", importPath, a.Name, err)
+		return
+	}
+	diags = analysis.Filter(pkg.Fset, pkg.Files, a.Name, diags)
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				specs := wantRe.FindAllStringSubmatch(text[i+len("// want "):], -1)
+				if len(specs) == 0 {
+					t.Errorf("%s:%d: malformed // want comment", pos.Filename, pos.Line)
+					continue
+				}
+				for _, m := range specs {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, rel(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: expected diagnostic at %s:%d matching %q, got none", a.Name, rel(w.file), w.line, w.re)
+		}
+	}
+}
+
+// rel shortens an absolute fixture path for readable failures.
+func rel(path string) string {
+	if i := strings.Index(path, "testdata"); i >= 0 {
+		return path[i:]
+	}
+	return path
+}

@@ -1,0 +1,25 @@
+// Package analyzers registers the datasynthlint analyzer suite: the
+// mechanical backstops for the repo's three load-bearing invariants —
+// byte-determinism of generated datasets (detrange, rngdiscipline),
+// panic isolation at every worker layer (nakedgo), and
+// faultfs-mediated filesystem access in the cache/export paths
+// (fsdiscipline). See docs/lint.md for the contract each one enforces.
+package analyzers
+
+import (
+	"datasynth/lint/analysis"
+	"datasynth/lint/analyzers/detrange"
+	"datasynth/lint/analyzers/fsdiscipline"
+	"datasynth/lint/analyzers/nakedgo"
+	"datasynth/lint/analyzers/rngdiscipline"
+)
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrange.Analyzer,
+		fsdiscipline.Analyzer,
+		nakedgo.Analyzer,
+		rngdiscipline.Analyzer,
+	}
+}

@@ -1,0 +1,256 @@
+// Package detrange flags `for range` over a map in the packages whose
+// output feeds generated datasets. Map iteration order is randomized
+// by the runtime, so any map range on an output-feeding path is a
+// latent byte-determinism bug — and byte-determinism is what makes the
+// content-addressable dataset cache sound (a dataset must be a pure
+// function of its canonical schema hash).
+//
+// The one blessed shape is key (or value) collection: a loop whose
+// body only appends the key/value into a slice, with the slice sorted
+// before use. detrange recognises that shape — every statement in the
+// body is an append/indexed store of the range variables plus optional
+// counter bookkeeping, and a sort.* or slices.Sort* call over the
+// collected slice appears later in the same function. Anything else
+// needs a //lint:allow detrange <reason> directive stating why the
+// iteration order cannot reach output bytes.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"datasynth/lint/analysis"
+	"datasynth/lint/analyzers/internal/lintutil"
+)
+
+// scope is the set of output-feeding packages the determinism contract
+// covers (doc.go "determinism contract": everything between schema and
+// exported bytes).
+var scope = map[string]bool{
+	"datasynth/internal/sgen":  true,
+	"datasynth/internal/pgen":  true,
+	"datasynth/internal/match": true,
+	"datasynth/internal/core":  true,
+	"datasynth/internal/table": true,
+	"datasynth/internal/dsl":   true,
+	"datasynth/internal/exp":   true,
+}
+
+// Analyzer is the detrange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags map iteration in output-feeding packages unless the keys " +
+		"are collected into a slice and sorted before use",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		checkFile(pass, file)
+	}
+	return nil, nil
+}
+
+// checkFile walks one file keeping track of the innermost enclosing
+// function body, which bounds the "sorted afterwards" search.
+func checkFile(pass *analysis.Pass, file *ast.File) {
+	var enclosing []*ast.BlockStmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return false
+			}
+			enclosing = append(enclosing, n.Body)
+			ast.Inspect(n.Body, walk)
+			enclosing = enclosing[:len(enclosing)-1]
+			return false
+		case *ast.FuncLit:
+			enclosing = append(enclosing, n.Body)
+			ast.Inspect(n.Body, walk)
+			enclosing = enclosing[:len(enclosing)-1]
+			return false
+		case *ast.RangeStmt:
+			checkRange(pass, n, current(enclosing))
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+}
+
+// current returns the innermost enclosing function body, nil at file
+// scope (impossible for a range statement, but kept total).
+func current(stack []*ast.BlockStmt) *ast.BlockStmt {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// checkRange reports rs when it iterates a map outside the blessed
+// collect-then-sort shape.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, body *ast.BlockStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// `for range m` never observes the iteration order.
+	if rs.Key == nil && rs.Value == nil {
+		return
+	}
+	targets, collects := collectTargets(pass.TypesInfo, rs)
+	if !collects {
+		pass.Reportf(rs.For, "range over map %s has nondeterministic order on an output-feeding path; collect the keys into a slice and sort them before use", types.ExprString(rs.X))
+		return
+	}
+	if !sortedAfter(pass.TypesInfo, body, rs, targets) {
+		pass.Reportf(rs.For, "map keys from %s are collected but never sorted before use; add a sort.* or slices.Sort* call on the collected slice", types.ExprString(rs.X))
+	}
+}
+
+// collectTargets decides whether rs is a pure key/value-collection
+// loop and returns the slice variables collected into. The body may
+// contain only: appends of the range variables into a slice, indexed
+// stores of the range variables into a slice, and integer counter
+// updates.
+func collectTargets(info *types.Info, rs *ast.RangeStmt) (map[types.Object]bool, bool) {
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				rangeVars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+	if len(rangeVars) == 0 {
+		return nil, false
+	}
+	targets := map[types.Object]bool{}
+	for _, stmt := range rs.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			// counter bookkeeping (i++)
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return nil, false
+			}
+			obj, ok := collectAssign(info, s, rangeVars)
+			if !ok {
+				return nil, false
+			}
+			if obj != nil {
+				targets[obj] = true
+			}
+		default:
+			return nil, false
+		}
+	}
+	if len(targets) == 0 {
+		return nil, false
+	}
+	return targets, true
+}
+
+// collectAssign classifies one assignment inside a candidate
+// collection loop: `s = append(s, k)` or `s[i] = k` collects into s,
+// `n += 1`-style counter updates collect nothing. Any other assignment
+// disqualifies the loop.
+func collectAssign(info *types.Info, s *ast.AssignStmt, rangeVars map[types.Object]bool) (types.Object, bool) {
+	switch lhs := s.Lhs[0].(type) {
+	case *ast.Ident:
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isAppendOfRangeVars(info, call, rangeVars) {
+			return info.ObjectOf(lhs), true
+		}
+		// plain counter updates: n += x with integer type
+		if basicInt(info, lhs) {
+			return nil, true
+		}
+	case *ast.IndexExpr:
+		base, ok := lhs.X.(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		if _, isSlice := info.TypeOf(base).Underlying().(*types.Slice); !isSlice {
+			return nil, false
+		}
+		if id, ok := s.Rhs[0].(*ast.Ident); ok && rangeVars[info.ObjectOf(id)] {
+			return info.ObjectOf(base), true
+		}
+	}
+	return nil, false
+}
+
+// isAppendOfRangeVars reports whether call is append(dst, args...)
+// with every appended argument a range variable.
+func isAppendOfRangeVars(info *types.Info, call *ast.CallExpr, rangeVars map[types.Object]bool) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		a, ok := arg.(*ast.Ident)
+		if !ok || !rangeVars[info.ObjectOf(a)] {
+			return false
+		}
+	}
+	return true
+}
+
+// basicInt reports whether e has an integer type.
+func basicInt(info *types.Info, e ast.Expr) bool {
+	b, ok := info.TypeOf(e).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedAfter reports whether, later in the enclosing function body, a
+// sort.* or slices.Sort* call takes one of the collected slices as an
+// argument.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rs *ast.RangeStmt, targets map[types.Object]bool) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		f := lintutil.Callee(info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			hit := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && targets[info.ObjectOf(id)] {
+					hit = true
+				}
+				return !hit
+			})
+			if hit {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

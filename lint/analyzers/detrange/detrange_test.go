@@ -1,0 +1,15 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"datasynth/lint/analysistest"
+	"datasynth/lint/analyzers/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrange.Analyzer,
+		"datasynth/internal/sgen",
+		"datasynth/internal/unrelated",
+	)
+}

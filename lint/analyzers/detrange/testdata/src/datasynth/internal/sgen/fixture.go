@@ -1,0 +1,73 @@
+// Fixture for detrange: this package path is inside the analyzer's
+// output-feeding scope.
+package sgen
+
+import "sort"
+
+func sink(vs ...string) {}
+
+func naked(m map[string]int) {
+	for k := range m { // want `range over map m has nondeterministic order`
+		sink(k)
+	}
+}
+
+func nakedValue(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m has nondeterministic order`
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}
+
+func blessed(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sink(keys...)
+}
+
+func blessedIndexed(m map[string]int) []string {
+	keys := make([]string, len(m))
+	i := 0
+	for k := range m {
+		keys[i] = k
+		i++
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+func collectedNeverSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `collected but never sorted before use`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func keylessNeverObservesOrder(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func allowed(m map[string]int) {
+	//lint:allow detrange fixture: order feeds a log line only, never output bytes
+	for k := range m {
+		sink(k)
+	}
+}
+
+func allowMissingReason(m map[string]int) {
+	//lint:allow detrange // want `missing its mandatory reason`
+	for k := range m { // want `range over map m has nondeterministic order`
+		sink(k)
+	}
+}

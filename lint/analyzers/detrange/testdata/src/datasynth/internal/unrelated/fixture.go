@@ -1,0 +1,11 @@
+// Fixture: a package outside detrange's output-feeding scope may
+// iterate maps freely.
+package unrelated
+
+func free(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,48 @@
+// Fixture for fsdiscipline: this package path is inside the
+// faultfs-mediated scope.
+package table
+
+import "os"
+
+// FS mirrors the faultfs.FS surface the real packages thread through;
+// calls through it resolve to the interface, not package os, so they
+// are invisible to the analyzer — by design, that is the fixed code.
+type FS interface {
+	Create(name string) (*os.File, error)
+	Rename(oldpath, newpath string) error
+}
+
+func direct(dir string) error {
+	f, err := os.Create(dir + "/part") // want `direct os\.Create bypasses faultfs\.FS`
+	if err != nil {
+		return err
+	}
+	f.Close()
+	if err := os.Rename(dir+"/part", dir+"/final"); err != nil { // want `direct os\.Rename bypasses faultfs\.FS`
+		return err
+	}
+	if _, err := os.ReadDir(dir); err != nil { // want `direct os\.ReadDir bypasses faultfs\.FS`
+		return err
+	}
+	return nil
+}
+
+func mediated(fsys FS, dir string) error {
+	f, err := fsys.Create(dir + "/part")
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return fsys.Rename(dir+"/part", dir+"/final")
+}
+
+func allowed(dir string) error {
+	//lint:allow fsdiscipline fixture: startup-only probe before the FS exists, crash-safety tests cover it separately
+	_, err := os.Stat(dir)
+	return err
+}
+
+func allowMissingReason(dir string) error {
+	//lint:allow fsdiscipline // want `missing its mandatory reason`
+	return os.Remove(dir) // want `direct os\.Remove bypasses faultfs\.FS`
+}

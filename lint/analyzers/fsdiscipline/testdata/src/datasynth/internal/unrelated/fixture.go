@@ -1,0 +1,8 @@
+// Fixture: direct os calls are fine outside the cache/export layers.
+package unrelated
+
+import "os"
+
+func free(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}

@@ -1,0 +1,34 @@
+// Package lintutil holds the few type-resolution helpers the
+// datasynthlint analyzers share.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the function or method a call expression invokes,
+// or nil when the callee is not a named function (conversions,
+// builtins, function-typed variables).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// FromPkg reports whether f is declared in the package with the given
+// import path.
+func FromPkg(f *types.Func, pkgPath string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath
+}
+
+// IsFunc reports whether f is the function pkgPath.name.
+func IsFunc(f *types.Func, pkgPath, name string) bool {
+	return FromPkg(f, pkgPath) && f.Name() == name
+}

@@ -1,0 +1,17 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"datasynth/lint/analysistest"
+	"datasynth/lint/analyzers/nakedgo"
+)
+
+func TestNakedGo(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nakedgo.Analyzer,
+		"datasynth/internal/svc",
+		// The isolation package itself is exempt: its stub contains a
+		// raw go statement and must produce no findings.
+		"datasynth/internal/par",
+	)
+}

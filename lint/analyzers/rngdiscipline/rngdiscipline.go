@@ -1,0 +1,117 @@
+// Package rngdiscipline forbids ambient randomness in the packages
+// whose output feeds generated datasets. The determinism contract
+// requires every random draw to derive from the schema seed through
+// xrand.Stream (DeriveStream/DeriveN/Seq), so the same canonical
+// schema always yields the same bytes at any worker count:
+//
+//   - importing math/rand, math/rand/v2 or crypto/rand in a scoped
+//     package is a finding — math/rand's global source is seeded per
+//     process and crypto/rand is nondeterministic by design;
+//   - seeding an xrand stream from wall-clock time or the process id
+//     (time.Now, os.Getpid, os.Getppid anywhere in the seed argument)
+//     is a finding — it launders nondeterminism through the blessed
+//     API.
+package rngdiscipline
+
+import (
+	"go/ast"
+	"strconv"
+
+	"datasynth/lint/analysis"
+	"datasynth/lint/analyzers/internal/lintutil"
+)
+
+// scope mirrors detrange: the output-feeding packages covered by the
+// determinism contract.
+var scope = map[string]bool{
+	"datasynth/internal/sgen":  true,
+	"datasynth/internal/pgen":  true,
+	"datasynth/internal/match": true,
+	"datasynth/internal/core":  true,
+	"datasynth/internal/table": true,
+	"datasynth/internal/dsl":   true,
+	"datasynth/internal/exp":   true,
+}
+
+// forbiddenImports are the ambient randomness sources.
+var forbiddenImports = map[string]string{
+	"math/rand":    "process-seeded global source",
+	"math/rand/v2": "process-seeded global source",
+	"crypto/rand":  "nondeterministic by design",
+}
+
+// xrandPkg is the blessed randomness API.
+const xrandPkg = "datasynth/internal/xrand"
+
+// nondetSeeds are the calls that must never feed a stream seed.
+var nondetSeeds = map[string]map[string]bool{
+	"time": {"Now": true},
+	"os":   {"Getpid": true, "Getppid": true},
+}
+
+// Analyzer is the rngdiscipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngdiscipline",
+	Doc: "forbids math/rand, crypto/rand and time/pid-seeded randomness in " +
+		"generator/matcher packages; randomness must derive from xrand.Stream",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := forbiddenImports[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s (%s) is forbidden in deterministic packages; derive randomness from xrand.Stream via DeriveStream/DeriveN/Seq", path, why)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := lintutil.Callee(pass.TypesInfo, call)
+			if !lintutil.FromPkg(f, xrandPkg) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if bad := nondetCall(pass, arg); bad != "" {
+					pass.Reportf(call.Pos(), "xrand.%s seeded from %s; stream seeds must be deterministic (derive them from the schema seed)", f.Name(), bad)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nondetCall returns the name of the first time/pid call inside e, or
+// "" when e is free of them.
+func nondetCall(pass *analysis.Pass, e ast.Expr) string {
+	bad := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bad != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := lintutil.Callee(pass.TypesInfo, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if names, ok := nondetSeeds[f.Pkg().Path()]; ok && names[f.Name()] {
+			bad = f.Pkg().Path() + "." + f.Name()
+			return false
+		}
+		return true
+	})
+	return bad
+}

@@ -1,0 +1,15 @@
+package rngdiscipline_test
+
+import (
+	"testing"
+
+	"datasynth/lint/analysistest"
+	"datasynth/lint/analyzers/rngdiscipline"
+)
+
+func TestRngDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rngdiscipline.Analyzer,
+		"datasynth/internal/pgen",
+		"datasynth/internal/unrelated",
+	)
+}

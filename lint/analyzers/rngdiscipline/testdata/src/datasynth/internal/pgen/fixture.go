@@ -1,0 +1,40 @@
+// Fixture for rngdiscipline: this package path is inside the
+// analyzer's deterministic scope.
+package pgen
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand \(nondeterministic by design\) is forbidden`
+	mrand "math/rand"   // want `import of math/rand \(process-seeded global source\) is forbidden`
+	"os"
+	"time"
+
+	"datasynth/internal/xrand"
+)
+
+func ambient() int64 {
+	b := make([]byte, 8)
+	crand.Read(b)
+	return mrand.Int63()
+}
+
+func timeSeeded() xrand.Stream {
+	return xrand.NewStream(uint64(time.Now().UnixNano())) // want `xrand.NewStream seeded from time.Now`
+}
+
+func pidSeeded() xrand.Stream {
+	return xrand.NewStream(uint64(os.Getpid())) // want `xrand.NewStream seeded from os.Getpid`
+}
+
+func deterministic(seed uint64) xrand.Stream {
+	return xrand.NewStream(seed).DeriveStream("fixture")
+}
+
+func allowedJitter() xrand.Stream {
+	//lint:allow rngdiscipline fixture: jitter for a retry backoff, never feeds dataset bytes
+	return xrand.NewStream(uint64(time.Now().UnixNano()))
+}
+
+func allowMissingReason() xrand.Stream {
+	//lint:allow rngdiscipline // want `missing its mandatory reason`
+	return xrand.NewStream(uint64(time.Now().UnixNano())) // want `seeded from time.Now`
+}

@@ -1,0 +1,7 @@
+// Fixture: ambient randomness is fine outside the deterministic scope
+// (CLI tooling, tests, experiment drivers own their own seeds).
+package unrelated
+
+import "math/rand"
+
+func free() int { return rand.Int() }

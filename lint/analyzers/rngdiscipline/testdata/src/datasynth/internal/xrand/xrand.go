@@ -1,0 +1,11 @@
+// Package xrand is a fixture stub standing in for the real blessed
+// randomness API; rngdiscipline matches it by import path only.
+package xrand
+
+type Stream struct{ seed uint64 }
+
+func NewStream(seed uint64) Stream { return Stream{seed: seed} }
+
+func (s Stream) DeriveStream(label string) Stream { return s }
+
+func (s Stream) DeriveN(label string, n uint64) Stream { return s }

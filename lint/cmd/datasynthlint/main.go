@@ -1,0 +1,108 @@
+// Command datasynthlint runs the project-specific analyzer suite —
+// detrange, rngdiscipline, nakedgo, fsdiscipline — over the packages
+// matching the given patterns (default ./...). It is the mechanical
+// enforcement of the determinism, panic-isolation and faultfs
+// contracts; see docs/lint.md.
+//
+// Usage:
+//
+//	go run ./lint/cmd/datasynthlint ./...
+//
+// Findings print as file:line:col: message (analyzer). Exit status is
+// 0 when clean, 1 when there are findings, 2 on a driver error.
+// Individual findings are suppressed in source with
+// //lint:allow <analyzer> <reason> on the finding's line or the line
+// above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"datasynth/lint/analysis"
+	"datasynth/lint/analyzers"
+	"datasynth/lint/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: datasynthlint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datasynthlint:", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	type finding struct {
+		file     string
+		line     int
+		col      int
+		message  string
+		analyzer string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers.All() {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "datasynthlint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
+				return 2
+			}
+			for _, d := range analysis.Filter(pkg.Fset, pkg.Files, a.Name, diags) {
+				p := pkg.Fset.Position(d.Pos)
+				name := p.Filename
+				if cwd != "" {
+					if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+						name = rel
+					}
+				}
+				findings = append(findings, finding{name, p.Line, p.Column, d.Message, a.Name})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.message, f.analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "datasynthlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

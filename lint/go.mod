@@ -1,0 +1,17 @@
+module datasynth/lint
+
+go 1.24
+
+// Tool pins — datasynthlint itself is dependency-free (stdlib only;
+// lint/analysis is an API-compatible subset of
+// golang.org/x/tools/go/analysis, see lint/analysis/analysis.go), so
+// these are recorded here as the single source of truth for the CI
+// lint job rather than as require directives: adding requires for
+// tools that are only `go install`ed would force every offline
+// `go build ./...` through module resolution for code nothing imports.
+// CI installs exactly these versions (see .github/workflows/ci.yml,
+// env STATICCHECK_VERSION / GOVULNCHECK_VERSION); bump them here and
+// there together.
+//
+//	honnef.co/go/tools/cmd/staticcheck  2025.1.1
+//	golang.org/x/vuln/cmd/govulncheck   v1.1.4

@@ -1,0 +1,164 @@
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// LoadFixture type-checks the analysistest fixture package rooted at
+// srcRoot/importPath. Fixtures use the classic analysistest layout —
+// testdata/src/<importpath>/*.go — so a fixture can carry stub
+// packages under real datasynth import paths (e.g. a fake
+// datasynth/internal/par) for the analyzers' type-based matching.
+// Imports resolve against srcRoot first, then against the standard
+// library via build-cache export data.
+func LoadFixture(srcRoot, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	// Parse the whole fixture tree reachable from importPath so one
+	// `go list` call can fetch export data for every stdlib import.
+	parsed := map[string][]*ast.File{}
+	if err := parseFixtureTree(fset, srcRoot, importPath, parsed); err != nil {
+		return nil, err
+	}
+	stdlib := map[string]bool{}
+	for _, files := range parsed {
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				p, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if _, fixture := parsed[p]; !fixture {
+					stdlib[p] = true
+				}
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(stdlib) > 0 {
+		patterns := make([]string, 0, len(stdlib))
+		for p := range stdlib {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(srcRoot, append([]string{
+			"-export", "-deps", "-json=ImportPath,Export",
+		}, patterns...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fi := &fixtureImporter{
+		fset:    fset,
+		parsed:  parsed,
+		std:     importer.ForCompiler(fset, "gc", exportLookup(exports)),
+		checked: map[string]*checkedFixture{},
+	}
+	tpkg, info, err := fi.check(importPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        filepath.Join(srcRoot, filepath.FromSlash(importPath)),
+		Fset:       fset,
+		Files:      parsed[importPath],
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// parseFixtureTree parses importPath's fixture directory and,
+// recursively, every fixture package it imports.
+func parseFixtureTree(fset *token.FileSet, srcRoot, importPath string, parsed map[string][]*ast.File) error {
+	if _, done := parsed[importPath]; done {
+		return nil
+	}
+	dir := filepath.Join(srcRoot, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("load: fixture %s: %v", importPath, err)
+	}
+	var names []string
+	for _, ent := range entries {
+		if !ent.IsDir() && filepath.Ext(ent.Name()) == ".go" {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("load: fixture %s has no Go files in %s", importPath, dir)
+	}
+	files, err := parseDir(fset, dir, names)
+	if err != nil {
+		return fmt.Errorf("load: fixture %s: %v", importPath, err)
+	}
+	parsed[importPath] = files
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(srcRoot, filepath.FromSlash(p))); err == nil && st.IsDir() {
+				if err := parseFixtureTree(fset, srcRoot, p, parsed); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkedFixture caches one type-checked fixture package.
+type checkedFixture struct {
+	pkg  *types.Package
+	info *types.Info
+	err  error
+}
+
+// fixtureImporter resolves imports during fixture type-checking:
+// fixture packages from parsed source, everything else from stdlib
+// export data.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	parsed  map[string][]*ast.File
+	std     types.Importer
+	checked map[string]*checkedFixture
+}
+
+// Import implements types.Importer.
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if _, ok := fi.parsed[path]; ok {
+		pkg, _, err := fi.check(path)
+		return pkg, err
+	}
+	return fi.std.Import(path)
+}
+
+// check type-checks one fixture package (memoised).
+func (fi *fixtureImporter) check(path string) (*types.Package, *types.Info, error) {
+	if c, ok := fi.checked[path]; ok {
+		return c.pkg, c.info, c.err
+	}
+	c := &checkedFixture{info: newInfo()}
+	fi.checked[path] = c
+	conf := types.Config{Importer: fi}
+	c.pkg, c.err = conf.Check(path, fi.fset, fi.parsed[path], c.info)
+	if c.err != nil {
+		c.err = fmt.Errorf("load: type-checking fixture %s: %v", path, c.err)
+	}
+	return c.pkg, c.info, c.err
+}
