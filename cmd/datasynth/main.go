@@ -4,6 +4,7 @@
 //	datasynth -schema social.dsl -format columnar   # binary bulk-load files
 //	datasynth -schema social.dsl -plan              # print the task plan only
 //	datasynth -schema social.dsl -validate          # validate + canonical hash only
+//	datasynth -scenario social.dsl -name figure3    # dry-run a scenario registration
 //	datasynth -example                              # print a starter schema
 //
 // The output directory receives one file per node type and per edge
@@ -24,6 +25,7 @@ import (
 	"datasynth/internal/core"
 	"datasynth/internal/depgraph"
 	"datasynth/internal/dsl"
+	"datasynth/internal/scenario"
 	"datasynth/internal/table"
 )
 
@@ -66,6 +68,8 @@ func main() {
 	jsonl := flag.Bool("jsonl", false, "write JSON-lines files (shorthand for -format jsonl)")
 	planOnly := flag.Bool("plan", false, "print the dependency-analysis task plan and exit")
 	validate := flag.Bool("validate", false, "parse and validate the schema, print its canonical hash, and exit without generating")
+	scenarioFile := flag.String("scenario", "", "validate a DSL file as a scenario and print the canonical text + hash PUT /v1/scenarios would register; no generation")
+	scenarioName := flag.String("name", "", "scenario name to check against the registry's naming rule (with -scenario)")
 	example := flag.Bool("example", false, "print an example schema and exit")
 	verbose := flag.Bool("v", false, "log task progress")
 	workers := flag.Int("workers", 0, "scheduler and intra-task worker bound (0 = NumCPU, 1 = sequential); output is byte-identical at any count")
@@ -77,6 +81,34 @@ func main() {
 
 	if *example {
 		fmt.Print(exampleSchema)
+		return
+	}
+	if *scenarioFile != "" {
+		// Offline dry-run of a scenario registration. scenario.Validate
+		// is the exact function the daemon's PUT handler runs, so a
+		// schema this accepts — and the canonical text and hash it
+		// prints — are what the registry would store.
+		if *scenarioName != "" {
+			if err := scenario.ValidateName(*scenarioName); err != nil {
+				fatal(err)
+			}
+		}
+		src, err := os.ReadFile(*scenarioFile)
+		if err != nil {
+			fatal(err)
+		}
+		val, err := scenario.Validate(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		name := *scenarioName
+		if name == "" {
+			name = "<name>"
+		}
+		fmt.Printf("scenario %s: valid (%d node types, %d edge types, seed %d)\n",
+			name, len(val.Schema.Nodes), len(val.Schema.Edges), val.Schema.Seed)
+		fmt.Printf("canonical sha256: %s\n", val.Hash)
+		fmt.Printf("canonical text PUT /v1/scenarios/%s would register:\n\n%s", name, val.Text)
 		return
 	}
 	if *schemaPath == "" {

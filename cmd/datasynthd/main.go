@@ -37,6 +37,15 @@
 // <cache>/.quarantine/ and regenerates on demand; see docs/service.md
 // "Failure modes".
 //
+// -scenariodir enables the scenario registry: named, versioned,
+// validation-first dataset recipes. PUT /v1/scenarios/{name} appends
+// an immutable version (invalid DSL gets a 422 and writes nothing);
+// POST /v1/jobs accepts {"scenario": "name@version", "params": {...}}
+// and resolves it to the same content-hash cache key an anonymous
+// submit of the resolved text would get; POST /v1/sweeps expands a
+// parameter grid (bounded by -maxsweeppoints) into one cached job per
+// point. See docs/scenarios.md.
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // running jobs finish (up to -draintimeout), then the process exits.
 package main
@@ -69,6 +78,8 @@ func main() {
 	jobRetention := flag.Duration("jobretention", 0, "evict finished jobs older than this from the job map (0 = no age bound)")
 	storeRetries := flag.Int("storeretries", 0, "cache-commit attempts before a job goes degraded cache-bypass (0 = 3)")
 	storeRetryBase := flag.Duration("storeretrybase", 0, "first cache-commit retry delay, doubling with jitter per attempt (0 = 25ms)")
+	scenarioDir := flag.String("scenariodir", "datasynthd-scenarios", "scenario registry directory; empty disables /v1/scenarios and /v1/sweeps")
+	maxSweepPoints := flag.Int("maxsweeppoints", 0, "largest grid a single sweep may expand to (0 = 256)")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	verbose := flag.Bool("v", false, "log job progress")
 	flag.Parse()
@@ -86,6 +97,8 @@ func main() {
 		JobRetention:   *jobRetention,
 		StoreAttempts:  *storeRetries,
 		StoreRetryBase: *storeRetryBase,
+		ScenarioDir:    *scenarioDir,
+		MaxSweepPoints: *maxSweepPoints,
 	}
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "datasynthd: "+format+"\n", args...)

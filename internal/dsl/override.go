@@ -1,0 +1,108 @@
+package dsl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"datasynth/internal/schema"
+)
+
+// Parameter overrides: the submit-by-name path lets a client vary a
+// registered scenario along a flat whitelist of knobs without editing
+// its DSL. Override mutates a freshly parsed schema in place; the
+// caller re-validates and re-canonicalises afterwards, so the job's
+// cache key is still the pure content hash of the *resolved* text —
+// a named submit with overrides and an anonymous submit of the
+// resolved DSL collapse onto the same cache entry.
+//
+// The whitelist, deliberately narrow (an override tweaks a recipe, it
+// does not author a new one):
+//
+//	seed             = <uint64>     the schema seed
+//	<type>.count     = <positive>   a node or edge type's explicit count
+//	<edge>.<param>   = <value>      a parameter of the edge's structure
+//	                                generator call; the parameter must
+//	                                already appear in the scenario's
+//	                                call, so typos are rejected instead
+//	                                of silently generating the default
+//
+// Values are verbatim strings entering the canonical text, so two
+// spellings of the same number ("0.3" vs "0.30") are two cache keys;
+// sweeps normalise their grid values for exactly this reason.
+
+// OverrideError reports an override the whitelist rejects — always a
+// client mistake, never an internal fault.
+type OverrideError struct{ msg string }
+
+func (e *OverrideError) Error() string { return e.msg }
+
+func overrideErrf(format string, args ...any) error {
+	return &OverrideError{fmt.Sprintf(format, args...)}
+}
+
+// Override applies flat parameter overrides to a schema in place,
+// keys processed in sorted order. See the package comment above for
+// the accepted key forms.
+func Override(s *schema.Schema, params map[string]string) error {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if err := applyOverride(s, key, params[key]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applyOverride(s *schema.Schema, key, value string) error {
+	if key == "seed" {
+		seed, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return overrideErrf("override seed=%q: not an unsigned integer", value)
+		}
+		s.Seed = seed
+		return nil
+	}
+	typ, rest, ok := strings.Cut(key, ".")
+	if !ok {
+		return overrideErrf("override %q: want \"seed\", \"<type>.count\" or \"<edge>.<param>\"", key)
+	}
+	if rest == "count" {
+		c, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || c <= 0 {
+			return overrideErrf("override %s=%q: count must be a positive integer", key, value)
+		}
+		if n := s.NodeType(typ); n != nil {
+			n.Count = c
+			return nil
+		}
+		if e := s.EdgeType(typ); e != nil {
+			e.Count = c
+			return nil
+		}
+		return overrideErrf("override %q: no node or edge type %q in the schema", key, typ)
+	}
+	e := s.EdgeType(typ)
+	if e == nil {
+		if s.NodeType(typ) != nil {
+			return overrideErrf("override %q: only \"count\" can be overridden on node type %q", key, typ)
+		}
+		return overrideErrf("override %q: no edge type %q in the schema", key, typ)
+	}
+	if _, present := e.Structure.Params[rest]; !present {
+		avail := make([]string, 0, len(e.Structure.Params))
+		for p := range e.Structure.Params {
+			avail = append(avail, p)
+		}
+		sort.Strings(avail)
+		return overrideErrf("override %q: structure %s of edge %q has no parameter %q (has: %s)",
+			key, e.Structure.Name, typ, rest, strings.Join(avail, ", "))
+	}
+	e.Structure.Params[rest] = value
+	return nil
+}

@@ -1,0 +1,473 @@
+// Package scenario implements the named-scenario registry: a
+// crash-safe, disk-backed store of versioned dataset recipes.
+//
+// A scenario is a name bound to an append-only sequence of immutable
+// versions; each version records the canonical DSL text of a schema,
+// its core.CanonicalHash, a creation time, and optional description
+// and labels. The registry gives the generation service a server-side
+// notion of "the Figure-3 LFR panel" that clients can submit by name
+// instead of carrying schema text around — without weakening the
+// cache's soundness story, because a named submission resolves to
+// canonical DSL text first and is keyed by the same pure content hash
+// as an anonymous submission of that text.
+//
+// Invariants, in the sdgen blueprint's "validation first" spirit:
+//
+//   - Nothing invalid is ever written. Put runs the full registration
+//     pipeline (dsl.Parse, core.ValidateSchema, canonicalisation)
+//     before touching the disk; a rejected registration leaves no
+//     trace.
+//   - Versions are immutable. Put appends; it never rewrites. Putting
+//     text whose canonical form equals the latest version returns that
+//     version instead of minting a duplicate.
+//   - Commits are two-phase through faultfs (temp file + rename), the
+//     same discipline as the dataset cache, so a crash never leaves a
+//     half-written version under a valid name.
+//   - Startup rebuilds the registry from disk and quarantines torn
+//     entries (unparseable JSON, non-canonical or invalid DSL, stray
+//     temp files) into <dir>/.quarantine/ instead of serving or
+//     deleting them.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datasynth/internal/core"
+	"datasynth/internal/dsl"
+	"datasynth/internal/faultfs"
+	"datasynth/internal/schema"
+)
+
+// ErrNotFound reports an unknown scenario name or version.
+var ErrNotFound = errors.New("scenario: not found")
+
+// ValidationError marks a registration the validation pipeline
+// rejected — a client mistake (bad name, invalid DSL), as opposed to a
+// registry I/O fault. The HTTP layer maps it to 422.
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// nameRE constrains scenario names to safe identifiers: path- and
+// URL-inert, no leading dot (reserved for registry bookkeeping), no
+// "@" (reserved as the name@version separator in submit refs).
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// ValidateName checks a scenario name against the registry's naming
+// rules.
+func ValidateName(name string) error {
+	if !nameRE.MatchString(name) {
+		return &ValidationError{fmt.Errorf("scenario: invalid name %q (want 1-64 of [a-zA-Z0-9._-], starting with a letter or digit)", name)}
+	}
+	return nil
+}
+
+// Validated is DSL source that passed the full registration pipeline.
+// PUT /v1/scenarios and `datasynth -scenario` both go through Validate,
+// so the CLI dry-run and the service agree exactly on what "valid"
+// means and on the canonical text + hash a registration would commit.
+type Validated struct {
+	Schema *schema.Schema
+	// Text is the canonical DSL rendering — the exact bytes a version
+	// records and the service hashes for cache keys.
+	Text string
+	// Hash is core.CanonicalHash of the schema (covers the schema
+	// version and the seed).
+	Hash string
+}
+
+// Validate runs the registration pipeline on DSL source: parse,
+// referential validation, dependency analysis, canonicalisation.
+// Failures come back as *ValidationError.
+func Validate(src string) (*Validated, error) {
+	s, err := dsl.Parse(src)
+	if err != nil {
+		return nil, &ValidationError{err}
+	}
+	if err := core.ValidateSchema(s); err != nil {
+		return nil, &ValidationError{err}
+	}
+	return &Validated{Schema: s, Text: core.CanonicalSchema(s), Hash: core.CanonicalHash(s)}, nil
+}
+
+// Version is one immutable version of a scenario.
+type Version struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// DSL is the canonical schema text (dsl.Print form). Submitting it
+	// anonymously and submitting the scenario by name resolve to the
+	// same cache key.
+	DSL string `json:"dsl"`
+	// CanonicalSHA is core.CanonicalHash of the text at load time. It
+	// is recomputed when the registry loads (a core.SchemaVersion bump
+	// legitimately changes every hash), so it always matches what the
+	// service would key a submission of this version on.
+	CanonicalSHA string            `json:"canonical_sha256"`
+	Created      time.Time         `json:"created"`
+	Description  string            `json:"description,omitempty"`
+	Labels       map[string]string `json:"labels,omitempty"`
+}
+
+// Info summarises one scenario for listings.
+type Info struct {
+	Name      string    `json:"name"`
+	Versions  int       `json:"versions"`
+	Latest    int       `json:"latest"`
+	LatestSHA string    `json:"latest_canonical_sha256"`
+	Created   time.Time `json:"created"` // latest version's creation time
+}
+
+// tempPrefix marks in-progress version files; a crash leaves at worst
+// a temp file the startup sweep quarantines.
+const tempPrefix = ".tmp-"
+
+// quarantineDirName collects torn entries found by the startup sweep;
+// the previous run's quarantine is cleared on the next startup, the
+// same post-mortem window the dataset cache gives its debris.
+const quarantineDirName = ".quarantine"
+
+// versionFileRE matches committed version file names.
+var versionFileRE = regexp.MustCompile(`^v([0-9]+)\.json$`)
+
+// Registry is the disk-backed scenario store.
+type Registry struct {
+	dir  string
+	fsys faultfs.FS
+	logf func(format string, args ...any)
+
+	quarantined  atomic.Int64 // torn entries moved aside by the startup sweep
+	cleanupFails atomic.Int64 // removals that failed (logged, not fatal)
+
+	mu     sync.Mutex
+	byName map[string][]*Version // versions sorted ascending
+}
+
+// NewRegistry opens (creating if needed) a registry rooted at dir and
+// rebuilds its in-memory state from disk, quarantining torn entries.
+func NewRegistry(dir string, fsys faultfs.FS, logf func(format string, args ...any)) (*Registry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("scenario: registry directory is required")
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r := &Registry{
+		dir:    dir,
+		fsys:   faultfs.OrOS(fsys),
+		logf:   logf,
+		byName: map[string][]*Version{},
+	}
+	if err := r.fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := r.load(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// load is the startup recovery sweep: intact versions seed the
+// in-memory index, torn ones are quarantined, and the previous run's
+// quarantine is cleared.
+func (r *Registry) load() error {
+	des, err := r.fsys.ReadDir(r.dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range des {
+		name := de.Name()
+		if name == quarantineDirName {
+			r.removePath(filepath.Join(r.dir, name))
+			continue
+		}
+		if !de.IsDir() || ValidateName(name) != nil {
+			// A stray file, or a directory the naming rules would never
+			// have created: debris.
+			r.quarantine(name)
+			continue
+		}
+		if err := r.loadScenario(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadScenario loads one scenario directory, quarantining torn version
+// files individually so one bad version never takes down its siblings.
+func (r *Registry) loadScenario(name string) error {
+	sdir := filepath.Join(r.dir, name)
+	des, err := r.fsys.ReadDir(sdir)
+	if err != nil {
+		return err
+	}
+	var versions []*Version
+	for _, de := range des {
+		fname := de.Name()
+		m := versionFileRE.FindStringSubmatch(fname)
+		if de.IsDir() || m == nil {
+			// Temp files from a crashed Put, or anything else the
+			// registry never writes.
+			r.quarantine(filepath.Join(name, fname))
+			continue
+		}
+		v, err := r.readVersion(name, fname)
+		if err != nil {
+			r.logf("scenario: %s/%s torn (%v); quarantining", name, fname, err)
+			r.quarantine(filepath.Join(name, fname))
+			continue
+		}
+		versions = append(versions, v)
+	}
+	if len(versions) == 0 {
+		// Every version was debris; drop the husk so the name lists as
+		// unregistered (removal failure is non-fatal — an empty dir is
+		// invisible to the API either way).
+		r.removePath(sdir)
+		return nil
+	}
+	sort.Slice(versions, func(a, b int) bool { return versions[a].Version < versions[b].Version })
+	r.mu.Lock()
+	r.byName[name] = versions
+	r.mu.Unlock()
+	return nil
+}
+
+// readVersion reads and re-validates one committed version file. The
+// checks mirror what Put guarantees, so anything failing them is torn
+// or tampered, not merely stale: the JSON must parse, agree with its
+// path, and carry DSL that is valid and already canonical. The hash is
+// recomputed rather than trusted — a core.SchemaVersion bump changes
+// every canonical hash, and the registry must always report the hash a
+// submission would actually be keyed on today.
+func (r *Registry) readVersion(name, fname string) (*Version, error) {
+	raw, err := r.fsys.ReadFile(filepath.Join(r.dir, name, fname))
+	if err != nil {
+		return nil, err
+	}
+	var v Version
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("unparseable: %w", err)
+	}
+	m := versionFileRE.FindStringSubmatch(fname)
+	wantVer, _ := strconv.Atoi(m[1])
+	if v.Name != name || v.Version != wantVer {
+		return nil, fmt.Errorf("records %s@v%d, path says %s@v%d", v.Name, v.Version, name, wantVer)
+	}
+	val, err := Validate(v.DSL)
+	if err != nil {
+		return nil, fmt.Errorf("stored DSL no longer validates: %w", err)
+	}
+	if val.Text != v.DSL {
+		return nil, fmt.Errorf("stored DSL is not canonical")
+	}
+	v.CanonicalSHA = val.Hash
+	return &v, nil
+}
+
+// Put registers a new immutable version of a scenario, running the
+// full validation pipeline before anything touches the disk. If the
+// canonical form of src equals the scenario's latest version, that
+// version is returned with created=false and nothing is written —
+// re-registering the same recipe is idempotent, not version churn.
+func (r *Registry) Put(name, src, description string, labels map[string]string) (v *Version, created bool, err error) {
+	if err := ValidateName(name); err != nil {
+		return nil, false, err
+	}
+	val, err := Validate(src)
+	if err != nil {
+		return nil, false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.byName[name]
+	next := 1
+	if n := len(versions); n > 0 {
+		latest := versions[n-1]
+		if latest.DSL == val.Text {
+			return latest, false, nil
+		}
+		next = latest.Version + 1
+	}
+	rec := &Version{
+		Name:         name,
+		Version:      next,
+		DSL:          val.Text,
+		CanonicalSHA: val.Hash,
+		Created:      time.Now().UTC(),
+		Description:  description,
+		Labels:       labels,
+	}
+	if err := r.commit(rec); err != nil {
+		return nil, false, err
+	}
+	r.byName[name] = append(versions, rec)
+	r.logf("scenario: registered %s@v%d (%s)", name, next, rec.CanonicalSHA[:12])
+	return rec, true, nil
+}
+
+// commit writes one version file two-phase: marshal, write to a temp
+// name, rename into place. A failure at any step leaves the committed
+// state untouched (the temp is swept best-effort now and quarantined
+// at next startup regardless).
+func (r *Registry) commit(v *Version) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	sdir := filepath.Join(r.dir, v.Name)
+	if err := r.fsys.MkdirAll(sdir, 0o755); err != nil {
+		return err
+	}
+	final := filepath.Join(sdir, fmt.Sprintf("v%d.json", v.Version))
+	tmp := filepath.Join(sdir, fmt.Sprintf("%sv%d.json", tempPrefix, v.Version))
+	if err := r.fsys.WriteFile(tmp, raw, 0o644); err != nil {
+		r.removePath(tmp)
+		return err
+	}
+	if err := r.fsys.Rename(tmp, final); err != nil {
+		r.removePath(tmp)
+		return err
+	}
+	return nil
+}
+
+// Get returns one version of a scenario; version <= 0 means latest.
+func (r *Registry) Get(name string, version int) (*Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.byName[name]
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("scenario %q: %w", name, ErrNotFound)
+	}
+	if version <= 0 {
+		return versions[len(versions)-1], nil
+	}
+	for _, v := range versions {
+		if v.Version == version {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario %q version %d: %w", name, version, ErrNotFound)
+}
+
+// Versions returns all versions of a scenario, ascending.
+func (r *Registry) Versions(name string) ([]*Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.byName[name]
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("scenario %q: %w", name, ErrNotFound)
+	}
+	out := make([]*Version, len(versions))
+	copy(out, versions)
+	return out, nil
+}
+
+// List returns a summary of every registered scenario, sorted by name.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Info, 0, len(names))
+	for _, name := range names {
+		versions := r.byName[name]
+		latest := versions[len(versions)-1]
+		out = append(out, Info{
+			Name:      name,
+			Versions:  len(versions),
+			Latest:    latest.Version,
+			LatestSHA: latest.CanonicalSHA,
+			Created:   latest.Created,
+		})
+	}
+	return out
+}
+
+// Delete unregisters a scenario (all versions). It touches nothing but
+// the registry: jobs and cached datasets submitted through the name
+// keep their resolved content hashes and are unaffected. If the disk
+// removal fails the scenario stays registered and the error surfaces —
+// a half-deleted name must not silently resurrect on restart.
+func (r *Registry) Delete(name string) (versions int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	existing := r.byName[name]
+	if len(existing) == 0 {
+		return 0, fmt.Errorf("scenario %q: %w", name, ErrNotFound)
+	}
+	if err := r.fsys.RemoveAll(filepath.Join(r.dir, name)); err != nil {
+		r.cleanupFails.Add(1)
+		return 0, err
+	}
+	delete(r.byName, name)
+	r.logf("scenario: deleted %s (%d versions)", name, len(existing))
+	return len(existing), nil
+}
+
+// Counts reports registered scenario and total version counts.
+func (r *Registry) Counts() (scenarios, versions int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, vs := range r.byName {
+		versions += len(vs)
+	}
+	return len(r.byName), versions
+}
+
+// Quarantined reports how many torn entries the startup sweep moved
+// aside.
+func (r *Registry) Quarantined() int64 { return r.quarantined.Load() }
+
+// quarantine moves dir-relative path rel into the quarantine directory
+// under a unique flat name, falling back to removal if the rename
+// fails (the same policy as the dataset cache: renames work even when
+// deletes don't, and debris is evidence).
+func (r *Registry) quarantine(rel string) {
+	src := filepath.Join(r.dir, rel)
+	qdir := filepath.Join(r.dir, quarantineDirName)
+	if err := r.fsys.MkdirAll(qdir, 0o755); err != nil {
+		r.logf("scenario: quarantine dir: %v; removing %s instead", err, rel)
+		r.removePath(src)
+		return
+	}
+	flat := strings.ReplaceAll(rel, string(filepath.Separator), "__")
+	dst := filepath.Join(qdir, flat)
+	for i := 1; ; i++ {
+		if _, err := r.fsys.Stat(dst); err != nil {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s-%d", flat, i))
+	}
+	if err := r.fsys.Rename(src, dst); err != nil {
+		r.logf("scenario: quarantining %s failed: %v; removing instead", rel, err)
+		r.removePath(src)
+		return
+	}
+	r.quarantined.Add(1)
+	r.logf("scenario: quarantined %s -> %s", rel, dst)
+}
+
+// removePath deletes a path, logging and counting failure instead of
+// dropping it silently.
+func (r *Registry) removePath(path string) {
+	if err := r.fsys.RemoveAll(path); err != nil {
+		r.cleanupFails.Add(1)
+		r.logf("scenario: removing %s failed: %v", path, err)
+	}
+}

@@ -24,10 +24,18 @@ import (
 //	GET  /v1/readyz                     readiness (503 while degraded or draining)
 //	GET  /v1/stats                      queue depth, cache hit rate, in-flight engines
 //	GET  /v1/metrics                    Prometheus text-format telemetry
+//	GET  /v1/scenarios                  list registered scenarios
+//	PUT  /v1/scenarios/{name}           append an immutable new version (validation-first)
+//	GET  /v1/scenarios/{name}           version list, or one version (?version=N|latest)
+//	DELETE /v1/scenarios/{name}         unregister a name (cached datasets unaffected)
+//	POST /v1/sweeps                     expand a scenario × parameter grid into jobs
+//	GET  /v1/sweeps/{id}                aggregated per-point sweep status
 //
 // Submission bodies: raw DSL text (any non-JSON content type; the
 // format comes from the ?format= query parameter), or a JSON object
-// {"schema": "...", "format": "csv|jsonl|columnar"}. Table files
+// {"schema": "...", "format": "csv|jsonl|columnar"} — or, with a
+// populated registry, {"scenario": "name@version", "params": {...}}.
+// Table files
 // stream verbatim from the committed cache entry — no re-encoding —
 // with the manifest's SHA-256 as a strong ETag, so clients can
 // revalidate a download for free.
@@ -39,16 +47,24 @@ const maxSchemaBytes = 1 << 20
 // maxWait bounds the ?wait= long poll on the job-status endpoint.
 const maxWait = 5 * time.Minute
 
-// submitRequest is the JSON submission body.
+// submitRequest is the JSON submission body. Exactly one of Schema
+// (anonymous DSL text) or Scenario (a registered "name" /
+// "name@version" ref, with optional flat parameter overrides) names
+// the recipe.
 type submitRequest struct {
-	Schema string `json:"schema"`
-	Format string `json:"format,omitempty"`
+	Schema   string            `json:"schema,omitempty"`
+	Scenario string            `json:"scenario,omitempty"`
+	Params   map[string]string `json:"params,omitempty"`
+	Format   string            `json:"format,omitempty"`
 }
 
 // submitResponse extends the job view with the submission outcome.
 type submitResponse struct {
 	JobView
 	Deduped bool `json:"deduped,omitempty"`
+	// Scenario is the pinned "name@v<N>" a named submit resolved to —
+	// informational only; the job id is still the content hash.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // Handler returns the service's HTTP handler.
@@ -61,6 +77,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/tables/{table}", s.handleTable)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarioList)
+	mux.HandleFunc("PUT /v1/scenarios/{name}", s.handleScenarioPut)
+	mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioGet)
+	mux.HandleFunc("DELETE /v1/scenarios/{name}", s.handleScenarioDelete)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	return mux
 }
 
@@ -105,6 +127,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	src := string(body)
+	scenarioRef := ""
+	var params map[string]string
 	formatName := r.URL.Query().Get("format")
 	if isJSONContentType(r.Header.Get("Content-Type")) {
 		var req submitRequest
@@ -112,13 +136,23 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
 			return
 		}
+		if req.Schema != "" && req.Scenario != "" {
+			s.writeErr(w, http.StatusBadRequest, errors.New(`give "schema" or "scenario", not both`))
+			return
+		}
 		src = req.Schema
+		scenarioRef = req.Scenario
+		params = req.Params
 		if req.Format != "" {
 			formatName = req.Format
 		}
 	}
-	if strings.TrimSpace(src) == "" {
+	if scenarioRef == "" && strings.TrimSpace(src) == "" {
 		s.writeErr(w, http.StatusBadRequest, errors.New("empty schema"))
+		return
+	}
+	if len(params) > 0 && scenarioRef == "" {
+		s.writeErr(w, http.StatusBadRequest, errors.New(`"params" overrides need a "scenario" ref`))
 		return
 	}
 	if formatName == "" {
@@ -130,30 +164,22 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.Submit(src, format)
+	var res SubmitResult
+	var resolved string
+	if scenarioRef != "" {
+		res, resolved, err = s.SubmitScenario(scenarioRef, params, format)
+	} else {
+		res, err = s.Submit(src, format)
+	}
 	if err != nil {
-		var le *LimitError
-		var ie *internalError
-		switch {
-		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-			w.Header().Set("Retry-After", "1")
-			s.writeErr(w, http.StatusServiceUnavailable, err)
-		case errors.As(err, &le):
-			s.writeErr(w, http.StatusUnprocessableEntity, err)
-		case errors.As(err, &ie):
-			// Cache I/O fault — the server's problem, not the schema's.
-			s.writeErr(w, http.StatusInternalServerError, err)
-		default:
-			// Parse or validation failure.
-			s.writeErr(w, http.StatusBadRequest, err)
-		}
+		s.writeSubmitErr(w, err)
 		return
 	}
 	code := http.StatusAccepted
 	if res.CacheHit {
 		code = http.StatusOK
 	}
-	sr := submitResponse{JobView: res.Job.View(), Deduped: res.Deduped}
+	sr := submitResponse{JobView: res.Job.View(), Deduped: res.Deduped, Scenario: resolved}
 	// cache_hit in the submit response is submission-level: true
 	// whenever this request was served without a new generation —
 	// from the disk cache or from an already completed identical job.

@@ -114,6 +114,13 @@ func (s *Service) writeMetrics(w io.Writer) {
 		sample{v: float64(st.Cache.Quarantined)})
 	counter(w, "datasynthd_cache_cleanup_failures_total", "Cache directory removals that failed and were logged.",
 		sample{v: float64(st.Cache.CleanupFailures)})
+	counter(w, "datasynthd_scenario_submits_total", "Job submissions by recipe source: a registered scenario name or an anonymous schema body.",
+		sample{labels: `by="name"`, v: float64(st.Scenarios.NamedSubmits)},
+		sample{labels: `by="anonymous"`, v: float64(st.Scenarios.AnonymousSubmits)})
+	counter(w, "datasynthd_sweeps_total", "Accepted sweep requests.",
+		sample{v: float64(st.Scenarios.Sweeps)})
+	counter(w, "datasynthd_sweep_points_total", "Individual grid points submitted through sweeps.",
+		sample{v: float64(st.Scenarios.SweepPoints)})
 
 	gauge(w, "datasynthd_queue_depth", "Jobs waiting for a worker.",
 		sample{v: float64(st.QueueDepth)})
@@ -146,6 +153,12 @@ func (s *Service) writeMetrics(w io.Writer) {
 		sample{v: degraded})
 	gauge(w, "datasynthd_uptime_seconds", "Seconds since the service started.",
 		sample{v: st.UptimeSeconds})
+	// Scenario families are emitted (at zero) even with the registry
+	// disabled, so dashboards never see a family appear and vanish.
+	gauge(w, "datasynthd_scenarios", "Registered scenario names.",
+		sample{v: float64(st.Scenarios.Count)})
+	gauge(w, "datasynthd_scenario_versions", "Registered scenario versions across all names.",
+		sample{v: float64(st.Scenarios.Versions)})
 
 	s.writePhaseHistograms(w)
 }

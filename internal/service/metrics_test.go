@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -158,6 +159,15 @@ func TestMetricsScrapeShape(t *testing.T) {
 		{"datasynthd_queue_depth", float64(st.QueueDepth)},
 		{`datasynthd_jobs{status="done"}`, float64(st.Jobs.Done)},
 		{"datasynthd_response_write_failures_total", 0},
+		// Scenario families are present even with the registry disabled
+		// (this service has no ScenarioDir): all-zero except the
+		// anonymous submit counter, which counts the three submits above.
+		{"datasynthd_scenarios", 0},
+		{"datasynthd_scenario_versions", 0},
+		{`datasynthd_scenario_submits_total{by="name"}`, 0},
+		{`datasynthd_scenario_submits_total{by="anonymous"}`, 3},
+		{"datasynthd_sweeps_total", 0},
+		{"datasynthd_sweep_points_total", 0},
 	}
 	for _, c := range checks {
 		if got := p.get(t, c.key); got != c.want {
@@ -200,6 +210,52 @@ func TestMetricsScrapeShape(t *testing.T) {
 	for fam := range p.typ {
 		if !p.help[fam] {
 			t.Errorf("family %s has TYPE but no HELP", fam)
+		}
+	}
+}
+
+// TestMetricsScenarioFamilies drives the scenario surface (register,
+// submit-by-name, sweep) and checks the scenario metric families agree
+// with the stats snapshot.
+func TestMetricsScenarioFamilies(t *testing.T) {
+	_, ts := newScenarioServer(t)
+	putScenario(t, ts, "panel", scenSchema(42))
+	putScenario(t, ts, "panel", scenSchema(43))
+
+	if code, _, out := submitJSON(t, ts, map[string]any{"scenario": "panel"}); code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("named submit: %d %s", code, out)
+	}
+	resp, raw := doReq(t, http.MethodPost, ts.URL+"/v1/sweeps", "application/json",
+		`{"scenario":"panel","sweep":{"knows.mu":[0.1, 0.2]}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, raw)
+	}
+	var sw SweepView
+	if err := json.Unmarshal(raw, &sw); err != nil {
+		t.Fatal(err)
+	}
+	waitSweepDone(t, ts, sw.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parseProm(t, string(body))
+	for key, want := range map[string]float64{
+		"datasynthd_scenarios":                              1,
+		"datasynthd_scenario_versions":                      2,
+		`datasynthd_scenario_submits_total{by="name"}`:      3, // 1 named + 2 sweep points
+		`datasynthd_scenario_submits_total{by="anonymous"}`: 0,
+		"datasynthd_sweeps_total":                           1,
+		"datasynthd_sweep_points_total":                     2,
+	} {
+		if got := p.get(t, key); got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
 		}
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"datasynth/internal/faultfs"
 	"datasynth/internal/par"
 	"datasynth/internal/retry"
+	"datasynth/internal/scenario"
 	"datasynth/internal/schema"
 	"datasynth/internal/table"
 )
@@ -79,6 +80,13 @@ type Config struct {
 	// JobRetention evicts finished jobs older than this from the job map
 	// on each submission. 0 means no age bound.
 	JobRetention time.Duration
+	// ScenarioDir, when non-empty, enables the named-scenario registry
+	// rooted there (PUT/GET/DELETE /v1/scenarios, submit-by-name, and
+	// server-side sweeps). Empty disables the scenario surface.
+	ScenarioDir string
+	// MaxSweepPoints caps how many jobs a single POST /v1/sweeps may
+	// expand into. 0 means 256.
+	MaxSweepPoints int
 	// FS, if non-nil, routes all cache and export disk I/O through it —
 	// the fault-injection seam (faultfs.InjectFS in tests). Nil means
 	// the real filesystem.
@@ -130,6 +138,13 @@ func (c *Config) storeRetryBase() time.Duration {
 		return 25 * time.Millisecond
 	}
 	return c.StoreRetryBase
+}
+
+func (c *Config) maxSweepPoints() int {
+	if c.MaxSweepPoints <= 0 {
+		return 256
+	}
+	return c.MaxSweepPoints
 }
 
 func (c *Config) maxJobs() int {
@@ -332,6 +347,7 @@ type SubmitResult struct {
 type Service struct {
 	cfg   Config
 	cache *diskCache
+	scen  *scenario.Registry // nil when Config.ScenarioDir is empty
 	start time.Time
 
 	mu       sync.Mutex
@@ -356,6 +372,17 @@ type Service struct {
 	storeRetries  atomic.Int64 // cache-store attempts beyond the first
 	bypasses      atomic.Int64 // jobs completed in cache-bypass mode
 
+	// Scenario-surface counters (all zero when the registry is off).
+	namedSubmits atomic.Int64 // submissions resolved through a scenario ref
+	anonSubmits  atomic.Int64 // submissions carrying their own schema text
+	scenarioPuts atomic.Int64 // new scenario versions committed
+	scenarioDels atomic.Int64 // scenarios deleted
+	sweepSubmits atomic.Int64 // accepted POST /v1/sweeps requests
+	sweepPoints  atomic.Int64 // jobs submitted on behalf of sweeps
+
+	sweepMu sync.Mutex
+	sweeps  map[string]*Sweep
+
 	// degraded latches on when a cache store exhausts its retries and a
 	// job completes by bypass; it clears on the next successful store.
 	// /v1/readyz reports it so an orchestrator can steer traffic away
@@ -375,11 +402,20 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	var scen *scenario.Registry
+	if cfg.ScenarioDir != "" {
+		scen, err = scenario.NewRegistry(cfg.ScenarioDir, cfg.FS, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Service{
 		cfg:     cfg,
 		cache:   cache,
+		scen:    scen,
 		start:   time.Now(),
 		jobs:    map[string]*Job{},
+		sweeps:  map[string]*Sweep{},
 		drainCh: make(chan struct{}),
 		queue:   make(chan *Job, cfg.queueDepth()),
 	}
@@ -411,6 +447,7 @@ func CacheKey(s *schema.Schema, f table.Format) string {
 // straight from the disk cache. src is DSL text.
 func (s *Service) Submit(src string, format table.Format) (SubmitResult, error) {
 	s.submits.Add(1)
+	s.anonSubmits.Add(1)
 	sch, err := dsl.Parse(src)
 	if err != nil {
 		return SubmitResult{}, err
@@ -418,6 +455,15 @@ func (s *Service) Submit(src string, format table.Format) (SubmitResult, error) 
 	if err := core.ValidateSchema(sch); err != nil {
 		return SubmitResult{}, err
 	}
+	return s.submitSchema(sch, format)
+}
+
+// submitSchema admits and enqueues an already validated schema — the
+// shared tail of every submission path (anonymous text, scenario ref,
+// sweep point). The cache key is derived from the schema itself, so a
+// named submit and an anonymous submit of the same resolved text
+// collapse onto one job, one cache entry, one singleflight group.
+func (s *Service) submitSchema(sch *schema.Schema, format table.Format) (SubmitResult, error) {
 	if err := s.checkDeclaredLimits(sch); err != nil {
 		return SubmitResult{}, err
 	}
@@ -925,6 +971,29 @@ type Stats struct {
 	} `json:"cache"`
 	SingleflightDedups int64 `json:"singleflight_dedups"`
 	Generations        int64 `json:"generations"`
+	// Scenarios reports the named-scenario surface (registry contents,
+	// submit-by-name traffic, sweep expansion). All zero with Enabled
+	// false when the service runs without a scenario directory.
+	Scenarios struct {
+		Enabled  bool `json:"enabled"`
+		Count    int  `json:"count"`
+		Versions int  `json:"versions"`
+		// Puts counts committed new versions (idempotent re-puts of the
+		// latest text are not version churn and not counted).
+		Puts    int64 `json:"puts"`
+		Deletes int64 `json:"deletes"`
+		// Quarantined counts torn registry entries the startup sweep
+		// moved aside.
+		Quarantined int64 `json:"quarantined"`
+		// NamedSubmits / AnonymousSubmits split submissions by whether
+		// they arrived as a scenario ref or as schema text. Sweep points
+		// count as named submissions and additionally in SweepPoints.
+		NamedSubmits     int64 `json:"named_submits"`
+		AnonymousSubmits int64 `json:"anonymous_submits"`
+		Sweeps           int64 `json:"sweeps"`
+		SweepPoints      int64 `json:"sweep_points"`
+		ActiveSweeps     int   `json:"active_sweeps"`
+	} `json:"scenarios"`
 }
 
 // Stats snapshots the service counters.
@@ -975,6 +1044,20 @@ func (s *Service) Stats() Stats {
 	st.Degraded = s.degraded.Load()
 	st.SingleflightDedups = s.dedupHits.Load()
 	st.Generations = s.generations.Load()
+	if s.scen != nil {
+		st.Scenarios.Enabled = true
+		st.Scenarios.Count, st.Scenarios.Versions = s.scen.Counts()
+		st.Scenarios.Quarantined = s.scen.Quarantined()
+	}
+	st.Scenarios.Puts = s.scenarioPuts.Load()
+	st.Scenarios.Deletes = s.scenarioDels.Load()
+	st.Scenarios.NamedSubmits = s.namedSubmits.Load()
+	st.Scenarios.AnonymousSubmits = s.anonSubmits.Load()
+	st.Scenarios.Sweeps = s.sweepSubmits.Load()
+	st.Scenarios.SweepPoints = s.sweepPoints.Load()
+	s.sweepMu.Lock()
+	st.Scenarios.ActiveSweeps = len(s.sweeps)
+	s.sweepMu.Unlock()
 	return st
 }
 

@@ -19,8 +19,9 @@ import (
 // scope is the set of packages whose filesystem access must be
 // faultfs-mediated.
 var scope = map[string]bool{
-	"datasynth/internal/service": true,
-	"datasynth/internal/table":   true,
+	"datasynth/internal/scenario": true,
+	"datasynth/internal/service":  true,
+	"datasynth/internal/table":    true,
 }
 
 // verbs are the os functions mirrored by faultfs.FS; using any of them

@@ -9,6 +9,7 @@ import (
 
 func TestFsDiscipline(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), fsdiscipline.Analyzer,
+		"datasynth/internal/scenario",
 		"datasynth/internal/table",
 		"datasynth/internal/unrelated",
 	)

@@ -1,0 +1,27 @@
+// Fixture for fsdiscipline: the scenario registry persists through
+// faultfs two-phase commits, so its package path is inside the
+// mediated scope too — the registry crash tests only prove what they
+// can reach.
+package scenario
+
+import "os"
+
+// FS mirrors the faultfs surface the registry threads through.
+type FS interface {
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+}
+
+func directCommit(dir string, raw []byte) error {
+	if err := os.WriteFile(dir+"/.tmp-v1.json", raw, 0o644); err != nil { // want `direct os\.WriteFile bypasses faultfs\.FS`
+		return err
+	}
+	return os.Rename(dir+"/.tmp-v1.json", dir+"/v1.json") // want `direct os\.Rename bypasses faultfs\.FS`
+}
+
+func mediatedCommit(fsys FS, dir string, raw []byte) error {
+	if err := fsys.WriteFile(dir+"/.tmp-v1.json", raw, 0o644); err != nil {
+		return err
+	}
+	return fsys.Rename(dir+"/.tmp-v1.json", dir+"/v1.json")
+}
