@@ -137,8 +137,12 @@ const tempPrefix = ".tmp-"
 // same post-mortem window the dataset cache gives its debris.
 const quarantineDirName = ".quarantine"
 
-// versionFileRE matches committed version file names.
-var versionFileRE = regexp.MustCompile(`^v([0-9]+)\.json$`)
+// versionFileRE matches committed version file names. Versions start
+// at 1 and leading zeros are rejected, so every loadable file name
+// maps to a distinct version number — a tampered "v01.json" is
+// quarantined as debris instead of loading as a duplicate of
+// v1.json's version 1.
+var versionFileRE = regexp.MustCompile(`^v([1-9][0-9]*)\.json$`)
 
 // Registry is the disk-backed scenario store.
 type Registry struct {

@@ -337,3 +337,37 @@ func TestValidateMatchesServiceHash(t *testing.T) {
 		t.Fatalf("canonical text is not a fixpoint:\n%q\n%q", val.Text, again.Text)
 	}
 }
+
+// TestRestartQuarantinesZeroPaddedVersion pins versionFileRE's leading-
+// zero rejection: a tampered "v01.json" must not load as a duplicate of
+// v1.json's version 1 (pre-fix both parsed to version 1 and Get served
+// whichever sorted first), and "v0.json" must not load at all —
+// versions start at 1. Both are debris Put can never have written, so
+// the startup sweep quarantines them.
+func TestRestartQuarantinesZeroPaddedVersion(t *testing.T) {
+	dir := t.TempDir()
+	r := newTestRegistry(t, dir, nil)
+	want, _, err := r.Put("panel", regSchema(1), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "panel", "v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tampered := range []string{"v01.json", "v0.json"} {
+		if err := os.WriteFile(filepath.Join(dir, "panel", tampered), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r2 := newTestRegistry(t, dir, nil)
+	if got := r2.Quarantined(); got != 2 {
+		t.Fatalf("quarantined %d entries, want 2", got)
+	}
+	vs, err := r2.Versions("panel")
+	if err != nil || len(vs) != 1 || vs[0].Version != 1 || vs[0].CanonicalSHA != want.CanonicalSHA {
+		t.Fatalf("versions after restart: %+v err=%v", vs, err)
+	}
+}

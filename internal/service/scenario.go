@@ -47,10 +47,13 @@ type BadParamsError struct{ err error }
 func (e *BadParamsError) Error() string { return e.err.Error() }
 func (e *BadParamsError) Unwrap() error { return e.err }
 
-// maxSweeps bounds the in-memory sweep map; completed sweeps are
-// evicted oldest-first past the bound (their jobs and cache entries
-// are untouched — a re-POST of the same grid rebuilds the record and
-// collapses onto the cached points).
+// maxSweeps bounds the in-memory sweep map. Past the bound, sweeps
+// whose points have all settled (no live queued/running job) are
+// evicted first, oldest-first, falling back to the globally oldest
+// only when every record still has in-flight points. Eviction drops
+// bookkeeping only — jobs and cache entries are untouched, and a
+// re-POST of the same grid rebuilds the record and collapses onto the
+// cached points.
 const maxSweeps = 256
 
 // Scenarios returns the registry, or nil when the surface is disabled.
@@ -207,14 +210,25 @@ type SweepView struct {
 }
 
 // expandAxis turns one sweep axis into its ordered value strings.
-// Numeric values are normalised through strconv.FormatFloat so that a
+// Numeric values are normalised through formatSweepValue so that a
 // grid point and a hand-written override of the same number spell —
-// and therefore hash — identically.
-func expandAxis(name string, raw json.RawMessage) ([]string, error) {
+// and therefore hash — identically. maxPoints bounds the axis length
+// *before* anything is allocated: an axis that alone exceeds the sweep
+// cap necessarily makes the whole grid exceed it, and rejecting it
+// here keeps a tiny {from:0,to:1e9,step:1} request from materialising
+// a multi-GB slice (or overflowing the float→int length conversion)
+// inside the handler.
+func expandAxis(name string, raw json.RawMessage, maxPoints int) ([]string, error) {
+	axisTooBig := func() error {
+		return &BadParamsError{fmt.Errorf("sweep axis %q alone expands to more than %d points", name, maxPoints)}
+	}
 	var list []any
 	if err := json.Unmarshal(raw, &list); err == nil {
 		if len(list) == 0 {
 			return nil, &BadParamsError{fmt.Errorf("sweep axis %q: empty value list", name)}
+		}
+		if len(list) > maxPoints {
+			return nil, axisTooBig()
 		}
 		vals := make([]string, len(list))
 		for i, v := range list {
@@ -236,7 +250,13 @@ func expandAxis(name string, raw json.RawMessage) ([]string, error) {
 	if rng.Step <= 0 || rng.To < rng.From {
 		return nil, &BadParamsError{fmt.Errorf("sweep axis %q: need step > 0 and to >= from", name)}
 	}
-	n := int(math.Floor((rng.To-rng.From)/rng.Step+1e-9)) + 1
+	// Checked before converting to int or allocating: span can be huge
+	// or non-finite for extreme from/to/step combinations.
+	span := math.Floor((rng.To-rng.From)/rng.Step + 1e-9)
+	if math.IsNaN(span) || span >= float64(maxPoints) {
+		return nil, axisTooBig()
+	}
+	n := int(span) + 1
 	vals := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		vals = append(vals, formatSweepValue(rng.From+float64(i)*rng.Step))
@@ -247,9 +267,17 @@ func expandAxis(name string, raw json.RawMessage) ([]string, error) {
 // formatSweepValue renders a grid number canonically: rounded to 9
 // decimals to absorb binary-float drift in range expansion (0.05+5×
 // 0.05 must print "0.3", not "0.30000000000000004"), then shortest
-// round-trip formatting.
+// round-trip formatting. Integral values print without an exponent
+// ("1000000", never "1e+06") — count overrides go through ParseInt,
+// and the grid value must spell identically to a hand-written
+// override of the same number or the normalisation contract (equal
+// spelling ⇒ equal hash) breaks.
 func formatSweepValue(v float64) string {
-	return strconv.FormatFloat(math.Round(v*1e9)/1e9, 'g', -1, 64)
+	v = math.Round(v*1e9) / 1e9
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // expandSweep resolves and validates every point of a sweep before
@@ -272,7 +300,7 @@ func (s *Service) expandSweep(req SweepRequest, format table.Format) (resolved s
 		if _, fixed := req.Params[name]; fixed {
 			return "", nil, nil, &BadParamsError{fmt.Errorf("sweep axis %q also appears in fixed params", name)}
 		}
-		vals, err := expandAxis(name, req.Sweep[name])
+		vals, err := expandAxis(name, req.Sweep[name], s.cfg.maxSweepPoints())
 		if err != nil {
 			return "", nil, nil, err
 		}
@@ -370,25 +398,55 @@ func (s *Service) SubmitSweep(req SweepRequest) (*SweepView, error) {
 	return s.sweepView(sw), nil
 }
 
-// pruneSweepsLocked evicts the oldest sweep records past the bound.
-// Only bookkeeping goes: the points' jobs and cache entries live their
-// own lives. Caller holds sweepMu.
+// pruneSweepsLocked evicts sweep records past the bound: settled
+// sweeps (no point with a live queued/running job) go first,
+// oldest-first, so an in-flight sweep's status endpoint keeps working
+// under churn; only when every record is still in flight does the
+// globally oldest go. Only bookkeeping goes either way: the points'
+// jobs and cache entries live their own lives. Caller holds sweepMu
+// (lock order is sweepMu → s.mu, matching Stats; sweepSettled takes
+// s.mu per point via s.Job).
 func (s *Service) pruneSweepsLocked() {
 	for len(s.sweeps) > maxSweeps {
-		oldestID := ""
-		var oldest time.Time
+		victimID := ""
+		var victimAt time.Time
+		victimSettled := false
 		ids := make([]string, 0, len(s.sweeps))
 		for id := range s.sweeps {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
 		for _, id := range ids {
-			if oldestID == "" || s.sweeps[id].created.Before(oldest) {
-				oldestID, oldest = id, s.sweeps[id].created
+			sw := s.sweeps[id]
+			settled := s.sweepSettled(sw)
+			better := victimID == "" ||
+				(settled && !victimSettled) ||
+				(settled == victimSettled && sw.created.Before(victimAt))
+			if better {
+				victimID, victimAt, victimSettled = id, sw.created, settled
 			}
 		}
-		delete(s.sweeps, oldestID)
+		delete(s.sweeps, victimID)
 	}
+}
+
+// sweepSettled reports whether no point of sw still has a live job in
+// a non-terminal state — i.e. evicting the sweep record cannot hide
+// in-flight work. Points whose job records were GC'd count as settled
+// (their datasets are cached or evicted; either way nothing is
+// running).
+func (s *Service) sweepSettled(sw *Sweep) bool {
+	for _, p := range sw.points {
+		if j := s.Job(p.key); j != nil {
+			j.mu.Lock()
+			terminal := j.status == StatusDone || j.status == StatusFailed
+			j.mu.Unlock()
+			if !terminal {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // SweepStatus returns the aggregated view of a sweep.

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 
 	"datasynth/internal/core"
 	"datasynth/internal/dsl"
+	"datasynth/internal/table"
 )
 
 // scenDSL is a small schema whose lfr call spells mu explicitly, so
@@ -474,6 +476,8 @@ func TestSweepValidationFirst(t *testing.T) {
 		"zero step":       `{"scenario":"panel","sweep":{"knows.mu":{"from":0.1,"to":0.5,"step":0}}}`,
 		"axis also fixed": `{"scenario":"panel","params":{"knows.mu":"0.1"},"sweep":{"knows.mu":[0.2]}}`,
 		"too many points": `{"scenario":"panel","sweep":{"seed":{"from":1,"to":1000,"step":1}}}`,
+		"huge range axis": `{"scenario":"panel","sweep":{"seed":{"from":0,"to":1000000000,"step":1}}}`,
+		"overflow range":  `{"scenario":"panel","sweep":{"seed":{"from":0,"to":1e18,"step":1}}}`,
 	} {
 		resp, raw := doReq(t, http.MethodPost, ts.URL+"/v1/sweeps", "application/json", body)
 		if resp.StatusCode != http.StatusUnprocessableEntity {
@@ -524,5 +528,141 @@ func TestDeleteScenarioMidSweep(t *testing.T) {
 	// the data is not.
 	if code, _, out := submitJSON(t, ts, map[string]any{"scenario": "doomed"}); code != http.StatusNotFound {
 		t.Fatalf("submit after delete: %d %s", code, out)
+	}
+}
+
+// TestExpandAxisBoundedBeforeAllocation pins the fast-fail contract:
+// the point cap is enforced before any value slice is allocated.
+// Pre-fix, a small {"from":0,"to":1e9,"step":1} body materialised a
+// ~1e9-entry slice (multi-GB) before expandSweep's total-points check
+// ran, and larger ranges overflowed the float→int length conversion
+// into a negative make() argument, panicking inside the handler.
+func TestExpandAxisBoundedBeforeAllocation(t *testing.T) {
+	for name, raw := range map[string]string{
+		"huge range":     `{"from":0,"to":1e9,"step":1}`,
+		"int overflow":   `{"from":0,"to":1e18,"step":1}`,
+		"float overflow": `{"from":-1e308,"to":1e308,"step":1e-300}`,
+	} {
+		_, err := expandAxis("seed", json.RawMessage(raw), 256)
+		if err == nil {
+			t.Errorf("%s: expanded instead of failing fast", name)
+			continue
+		}
+		var bad *BadParamsError
+		if !errors.As(err, &bad) {
+			t.Errorf("%s: %v, want *BadParamsError", name, err)
+		}
+	}
+
+	// An explicit value list longer than the cap fails the same way.
+	long := "[" + strings.Repeat("1,", 300) + "1]"
+	if _, err := expandAxis("seed", json.RawMessage(long), 256); err == nil {
+		t.Error("301-value list passed a 256-point cap")
+	}
+
+	// Boundary: exactly the cap is allowed, one more is not.
+	vals, err := expandAxis("seed", json.RawMessage(`{"from":1,"to":4,"step":1}`), 4)
+	if err != nil || len(vals) != 4 {
+		t.Fatalf("4-point axis under cap 4: %v err=%v", vals, err)
+	}
+	if _, err := expandAxis("seed", json.RawMessage(`{"from":1,"to":5,"step":1}`), 4); err == nil {
+		t.Fatal("5-point axis passed a 4-point cap")
+	}
+}
+
+// TestFormatSweepValue pins the normalisation contract: a grid number
+// must spell exactly like the hand-written override of the same value.
+// Integral values print without an exponent ("1000000", never "1e+06",
+// which dsl.Override's ParseInt rejects for count params and which
+// hashes differently from "1000000" for edge params).
+func TestFormatSweepValue(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{1000000, "1000000"},
+		{1234567, "1234567"},
+		{0, "0"},
+		{-3, "-3"},
+		{0.05, "0.05"},
+		{0.125, "0.125"},
+		// Binary-float drift from range expansion is absorbed.
+		{0.05 + 5*0.05, "0.3"},
+		{0.30000000000000004, "0.3"},
+	} {
+		if got := formatSweepValue(tc.in); got != tc.want {
+			t.Errorf("formatSweepValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSweepIntegerCountAxis pins the formatting fix at the expansion
+// layer: a count axis value of 1e6 must expand to "1000000" so the
+// override whitelist accepts it, and the grid point's cache key must
+// equal a hand-written override of the same number.
+func TestSweepIntegerCountAxis(t *testing.T) {
+	svc := newTestService(t, Config{ScenarioDir: t.TempDir()})
+	if _, _, err := svc.PutScenario("panel", scenSchema(42), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	req := SweepRequest{
+		Scenario: "panel",
+		Sweep:    map[string]json.RawMessage{"Person.count": json.RawMessage(`[1000000, 2000000]`)},
+	}
+	_, points, _, err := svc.expandSweep(req, table.FormatCSV)
+	if err != nil {
+		t.Fatalf("integer count axis rejected: %v", err)
+	}
+	if got := points[0].params["Person.count"]; got != "1000000" {
+		t.Fatalf("count spelled %q, want \"1000000\"", got)
+	}
+	sch, _, err := svc.resolveScenario("panel", map[string]string{"Person.count": "1000000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key := CacheKey(sch, table.FormatCSV); key != points[0].key {
+		t.Fatalf("grid key %s != hand-written override key %s", points[0].key, key)
+	}
+}
+
+// TestPrunePrefersSettledSweeps pins the eviction policy: past the
+// bound, sweeps whose points have all settled go before a sweep with a
+// live queued/running job, even when the in-flight sweep is the
+// globally oldest record. Pre-fix, oldest-first eviction made an
+// in-flight sweep's GET /v1/sweeps/{id} return 404 under churn while
+// its points were still running.
+func TestPrunePrefersSettledSweeps(t *testing.T) {
+	svc := newTestService(t, Config{ScenarioDir: t.TempDir()})
+
+	live := &Job{id: "k-live", status: StatusQueued, done: make(chan struct{})}
+	svc.mu.Lock()
+	svc.jobs[live.id] = live
+	svc.mu.Unlock()
+
+	base := time.Now()
+	svc.sweepMu.Lock()
+	svc.sweeps["sw-live"] = &Sweep{id: "sw-live", created: base.Add(-time.Hour),
+		points: []sweepPoint{{key: "k-live"}}}
+	for i := 0; i <= maxSweeps; i++ {
+		// No job record and no cache entry: settled ("evicted" state).
+		id := fmt.Sprintf("sw-settled-%03d", i)
+		svc.sweeps[id] = &Sweep{id: id, created: base.Add(time.Duration(i) * time.Second),
+			points: []sweepPoint{{key: fmt.Sprintf("k-%03d", i)}}}
+	}
+	svc.pruneSweepsLocked()
+	_, liveKept := svc.sweeps["sw-live"]
+	_, oldestSettledKept := svc.sweeps["sw-settled-000"]
+	_, nextSettledKept := svc.sweeps["sw-settled-001"]
+	n := len(svc.sweeps)
+	svc.sweepMu.Unlock()
+
+	if !liveKept {
+		t.Fatal("prune evicted the in-flight sweep while settled sweeps existed")
+	}
+	if oldestSettledKept || nextSettledKept {
+		t.Fatal("prune kept the oldest settled sweeps instead of evicting them")
+	}
+	if n != maxSweeps {
+		t.Fatalf("%d sweeps after prune, want %d", n, maxSweeps)
 	}
 }
